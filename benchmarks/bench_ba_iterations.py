@@ -1,0 +1,73 @@
+"""E8 (Lemma 8) — Coin-Gen terminates in constant expected time.
+
+Paper claim: "The protocol re-iterates BA only if the previous execution
+has ended with a 0 outcome.  This can happen only if P_l is faulty.  As
+the faulty players are set before l is exposed, there is a probability of
+at least (n - t)/n that BA will terminate with a value of 1."
+
+Regenerated series: the iteration histogram across many runs against a
+worst-case adversary (faulty players stay silent, so any faulty leader's
+proposal fails), compared with the geometric bound n/(n-t).
+"""
+
+import pytest
+
+from repro.analysis import complexity as cx
+from repro.fields import GF2k
+from repro.net.adversary import silent_program
+from repro.protocols.coin_gen import run_coin_gen
+
+K = 32
+FIELD = GF2k(K)
+
+
+def iterations_for(seed, n=7, t=1, faulty_ids=(4,)):
+    faulty = {pid: silent_program() for pid in faulty_ids}
+    outputs, _ = run_coin_gen(
+        FIELD, n, t, M=1, seed=seed, faulty_programs=faulty,
+        max_iterations=12,
+    )
+    honest = {pid: o for pid, o in outputs.items() if pid not in faulty}
+    iters = {o.iterations for o in honest.values()}
+    assert len(iters) == 1
+    assert all(o.success for o in honest.values())
+    return iters.pop()
+
+
+def test_expected_iterations_honest(report, benchmark):
+    """No faults: the first leader always verifies -> exactly 1 BA."""
+    counts = [
+        run_coin_gen(FIELD, 7, 1, M=1, seed=s)[0][1].iterations
+        for s in range(10)
+    ]
+    assert counts == [1] * 10
+    report.row("no faults: iterations = 1 in 10/10 runs (claim: 1)")
+    benchmark(lambda: run_coin_gen(FIELD, 7, 1, M=1, seed=99))
+
+
+def test_expected_iterations_with_faults(report, benchmark):
+    """t silent faults: iteration count is geometric-ish with success
+    probability >= (n - t)/n per election."""
+    n, t = 7, 1
+    trials = 24
+    counts = [iterations_for(seed) for seed in range(trials)]
+    mean = sum(counts) / trials
+    bound = cx.coin_gen_expected_iterations(n, t)
+    histogram = {i: counts.count(i) for i in sorted(set(counts))}
+    report.row(
+        f"t=1 silent fault: iteration histogram {histogram}, "
+        f"mean={mean:.2f}, paper bound n/(n-t)={bound:.2f}"
+    )
+    # mean should be near the geometric bound; always small-constant
+    assert mean <= bound + 0.6
+    assert max(counts) <= 5
+    benchmark(lambda: iterations_for(0))
+
+
+def test_rounds_constant_in_m(report, benchmark):
+    """Round complexity independent of the batch size M."""
+    _, m4 = run_coin_gen(FIELD, 7, 1, M=4, seed=1)
+    _, m64 = run_coin_gen(FIELD, 7, 1, M=64, seed=1)
+    assert m4.rounds == m64.rounds
+    report.row(f"rounds: M=4 -> {m4.rounds}, M=64 -> {m64.rounds} (equal)")
+    benchmark(lambda: run_coin_gen(FIELD, 7, 1, M=4, seed=2))

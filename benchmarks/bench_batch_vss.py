@@ -1,0 +1,68 @@
+"""E4 (Lemma 4 + Corollary 1) — Batch-VSS amortization.
+
+Paper claim: verifying M secrets costs 2Mk log k additions and 2
+interpolations per player with 2 rounds of n messages (2nk bits) —
+i.e. the amortized cost per secret is 2k log k additions and O(1)
+communication, *independent of M*.
+
+The regenerated series: per-secret interpolations, messages, and bits as
+M grows — the paper's amortization curve.
+"""
+
+import pytest
+
+from repro.analysis import complexity as cx
+from repro.fields import GF2k
+from repro.protocols.batch_vss import run_batch_vss
+
+K = 32
+FIELD = GF2k(K)
+N, T = 7, 2
+
+M_SWEEP = [1, 4, 16, 64, 256]
+
+
+@pytest.mark.parametrize("M", M_SWEEP)
+def test_batch_vss_amortization(benchmark, report, M):
+    results, metrics = benchmark.pedantic(
+        lambda: run_batch_vss(FIELD, N, T, M=M, seed=7), rounds=3, iterations=1
+    )
+    assert all(r.accepted for r in results.values())
+
+    interp = metrics.ops(2).interpolations
+    assert interp == 2  # Lemma 4: independent of M
+
+    per_secret_msgs = metrics.paper_messages / M
+    per_secret_bits = metrics.bits / M
+    claim = cx.batch_vss(N, K, M)
+    report.row(
+        f"M={M:4d}: interpolations/player={interp} (claim 2), "
+        f"messages/secret={per_secret_msgs:8.2f}, "
+        f"bits/secret={per_secret_bits:10.1f}, "
+        f"claimed_total_bits={claim.bits:.0f}"
+    )
+
+
+def test_amortized_communication_constant(report, benchmark):
+    """Corollary 1's headline: total communication independent of M, so
+    the per-secret cost decays as 1/M."""
+    _, m1 = run_batch_vss(FIELD, N, T, M=1, seed=8)
+    _, m256 = run_batch_vss(FIELD, N, T, M=256, seed=8)
+    assert m1.paper_messages == m256.paper_messages
+    assert m1.bits == m256.bits
+    report.row(
+        f"total messages: M=1 -> {m1.paper_messages}, M=256 -> "
+        f"{m256.paper_messages} (identical; per-secret cost decays 1/M)"
+    )
+    benchmark(lambda: run_batch_vss(FIELD, N, T, M=16, seed=9))
+
+
+def test_computation_linear_in_m(report, benchmark):
+    """Lemma 4's 2Mk log k: player multiplications grow by exactly one
+    Horner step per extra secret."""
+    _, m16 = run_batch_vss(FIELD, N, T, M=16, seed=10)
+    _, m64 = run_batch_vss(FIELD, N, T, M=64, seed=10)
+    delta = m64.max_player_ops().muls - m16.max_player_ops().muls
+    assert delta == 48  # one multiplication per extra dealing
+    report.row(f"extra muls per extra secret: {delta / 48:.0f} (claim 1)")
+    benchmark(lambda: run_batch_vss(FIELD, N, T, M=64, seed=11))

@@ -1,0 +1,74 @@
+"""E9 (Fig. 1 + Section 1.2) — bootstrapping amortizes the seed away.
+
+Paper claims: "Since the cost of the initial seed can now effectively be
+neglected, we get very fast coin generation" and, against Rabin [17],
+"our method is self-sufficient once it gets kicked off" whereas "[17]
+requires the dealer to continuously provide them."
+
+Regenerated series: cumulative per-coin cost across batches (falling
+toward the steady-state Coin-Gen cost) and the dealer-dependence
+comparison with the Rabin service.
+"""
+
+import pytest
+
+from repro.baselines import RabinDealerService
+from repro.core import BootstrapCoinSource
+from repro.fields import GF2k
+
+K = 32
+FIELD = GF2k(K)
+N, T = 7, 1
+
+
+def test_per_coin_cost_falls_across_batches(report, benchmark):
+    source = BootstrapCoinSource(FIELD, N, T, batch_size=16, seed=21)
+    series = []
+    for batch in range(4):
+        for _ in range(16):
+            source.toss_element()
+        summary = source.amortized_cost_summary()
+        series.append(summary["bits_per_coin"])
+        report.row(
+            f"after batch {source.epoch}: bits/coin={summary['bits_per_coin']:,.0f}, "
+            f"interpolations/coin={summary['interpolations_per_coin_busiest_player']:.2f}, "
+            f"messages/coin={summary['messages_per_coin']:.1f}"
+        )
+    # steady state: later batches cost no more per coin than the first
+    assert series[-1] <= series[0] * 1.25
+    benchmark(lambda: BootstrapCoinSource(FIELD, N, T, batch_size=8, seed=22).tosses(8))
+
+
+def test_dealer_dependence_vs_rabin(report, benchmark):
+    """Fig. 1's qualitative win: dealer interactions stay at 1 forever,
+    while Rabin's service needs one per coin."""
+    coins = 12
+    source = BootstrapCoinSource(FIELD, N, T, batch_size=8, seed=23)
+    for _ in range(coins):
+        source.toss_element()
+    rabin = RabinDealerService(FIELD, N, T, seed=24)
+    for _ in range(coins):
+        rabin.toss_element()
+    report.row(
+        f"{coins} coins: bootstrap dealer interactions = 1 (initial seed), "
+        f"Rabin [17] dealer interactions = {rabin.dealer_invocations}"
+    )
+    assert rabin.dealer_invocations == coins
+    benchmark(lambda: RabinDealerService(FIELD, N, T, seed=25).toss_element())
+
+
+def test_seed_cost_amortizes_away(report, benchmark):
+    """The initial seed is O(k) coins; after B batches of M coins its
+    share of the total cost is O(1/(BM))."""
+    source = BootstrapCoinSource(FIELD, N, T, batch_size=32, seed=26)
+    for _ in range(64):
+        source.toss_element()
+    generated = source.coins_generated
+    initial = source.initial_seed_size
+    ratio = initial / generated
+    report.row(
+        f"initial seed {initial} coins vs {generated} generated: "
+        f"seed share = {ratio:.3f} (falls as 1/(BM))"
+    )
+    assert ratio < 0.25
+    benchmark(lambda: BootstrapCoinSource(FIELD, N, T, batch_size=16, seed=27).toss())

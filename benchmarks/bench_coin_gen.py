@@ -1,0 +1,85 @@
+"""E7 (Theorem 2 + Corollary 3) — Coin-Gen amortized cost.
+
+Paper claims: generating M k-ary coins costs n+1 interpolations per
+player ("n polynomial interpolations have been saved by using the same
+coin for all the invocations"), Mn^2 k + O(n^4 k) total bits — i.e.
+n^2 + O(n^4/M) bits per coin bit, approaching n^2 as M grows.
+
+Regenerated series: per-coin communication vs M (the amortization knee)
+and the shared-challenge ablation.
+"""
+
+import pytest
+
+from repro.analysis import complexity as cx
+from repro.fields import GF2k
+from repro.protocols.coin_gen import run_coin_gen
+
+K = 32
+FIELD = GF2k(K)
+
+
+@pytest.mark.parametrize("n,t", [(7, 1), (13, 2)])
+@pytest.mark.parametrize("M", [4, 16, 64])
+def test_coin_gen_cost(benchmark, report, n, t, M):
+    outputs, metrics = benchmark.pedantic(
+        lambda: run_coin_gen(FIELD, n, t, M=M, seed=9),
+        rounds=2,
+        iterations=1,
+    )
+    assert all(o.success for o in outputs.values())
+
+    bits_per_coin_bit = metrics.bits / (M * K)
+    claimed = cx.coin_gen_amortized_bits_per_bit(n, K, M)
+    interp = metrics.ops(2).interpolations
+    report.row(
+        f"n={n:2d} t={t} M={M:3d}: interp/player={interp} "
+        f"(claim ~n+1={n + 1}+O(1) BA/expose), "
+        f"bits/coin-bit={bits_per_coin_bit:9.1f} "
+        f"(claim n^2+n^4/M={claimed:9.1f})"
+    )
+
+
+def test_amortization_knee(report, benchmark):
+    """Corollary 3: per-coin communication decays toward n^2 as M grows."""
+    n, t = 7, 1
+    per_bit = {}
+    for M in (4, 64):
+        _, metrics = run_coin_gen(FIELD, n, t, M=M, seed=10)
+        per_bit[M] = metrics.bits / (M * K)
+    assert per_bit[64] < per_bit[4] / 4
+    report.row(
+        f"bits/coin-bit: M=4 -> {per_bit[4]:.1f}, M=64 -> {per_bit[64]:.1f} "
+        f"(decaying toward n^2={n * n} as the n^4 term amortizes)"
+    )
+    benchmark(lambda: run_coin_gen(FIELD, n, t, M=16, seed=11))
+
+
+def test_shared_challenge_ablation(report, benchmark):
+    """Theorem 2's remark: reusing one challenge coin across all n
+    Bit-Gen instances saves n-1 interpolations per player."""
+    n, t = 7, 1
+    _, shared = run_coin_gen(FIELD, n, t, M=4, seed=12, shared_challenge=True)
+    _, separate = run_coin_gen(FIELD, n, t, M=4, seed=12, shared_challenge=False)
+    saved = separate.ops(2).interpolations - shared.ops(2).interpolations
+    assert saved == n - 1
+    report.row(
+        f"ablation shared_challenge: interpolations saved per player = "
+        f"{saved} (claim n-1={n - 1})"
+    )
+    benchmark(lambda: run_coin_gen(FIELD, n, t, M=4, seed=13))
+
+
+def test_computation_scales_linearly_in_m(report, benchmark):
+    """Theorem 2's Mn^2 k log k: multiplications grow ~n per extra coin
+    per player (one Horner step per dealer instance)."""
+    n, t = 7, 1
+    _, m4 = run_coin_gen(FIELD, n, t, M=4, seed=14)
+    _, m36 = run_coin_gen(FIELD, n, t, M=36, seed=14)
+    slope = (m36.max_player_ops().muls - m4.max_player_ops().muls) / 32
+    assert n <= slope <= 3 * n
+    report.row(
+        f"muls per extra coin per player = {slope:.1f} (claim ~n={n} "
+        f"Horner steps + share evaluation)"
+    )
+    benchmark(lambda: run_coin_gen(FIELD, n, t, M=8, seed=15))

@@ -1,0 +1,82 @@
+"""E16 (Section 1.2, proactive maintenance) — refresh & recovery costs.
+
+The proactive extension the paper motivates: refreshing H sealed coins'
+shares between epochs, and re-provisioning a recovered player.  Both
+reuse the Coin-Gen agreement machinery, so their cost should amortize in
+H exactly like Coin-Gen's does in M.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import GF2k
+from repro.protocols.coin_expose import make_dealer_coin
+from repro.protocols.recovery import run_recovery
+from repro.protocols.refresh import run_refresh
+
+K = 32
+FIELD = GF2k(K)
+N, T = 7, 1
+
+
+def make_table(count, seed):
+    rng = random.Random(seed)
+    table = {pid: [] for pid in range(1, N + 1)}
+    for index in range(count):
+        _, shares = make_dealer_coin(FIELD, N, T, f"m{seed}-{index}", rng)
+        for pid in range(1, N + 1):
+            table[pid].append(shares[pid])
+    return table
+
+
+@pytest.mark.parametrize("H", [1, 8, 32])
+def test_refresh_cost(benchmark, report, H):
+    def run():
+        table = make_table(H, seed=H)
+        return run_refresh(FIELD, N, T, table, seed=H + 1)
+
+    outputs, metrics = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(o.success for o in outputs.values())
+    report.row(
+        f"refresh H={H:3d}: bits/coin={metrics.bits / H:10.1f}, "
+        f"interpolations/player={metrics.ops(2).interpolations} "
+        f"(independent of H)"
+    )
+
+
+def test_refresh_amortizes_like_coin_gen(report, benchmark):
+    table1 = make_table(1, seed=50)
+    table32 = make_table(32, seed=51)
+    _, m1 = run_refresh(FIELD, N, T, table1, seed=52)
+    _, m32 = run_refresh(FIELD, N, T, table32, seed=53)
+    per1 = m1.bits / 1
+    per32 = m32.bits / 32
+    assert per32 < per1 / 4
+    assert m1.ops(2).interpolations == m32.ops(2).interpolations
+    report.row(
+        f"amortization: bits/coin H=1 -> {per1:,.0f}, H=32 -> {per32:,.0f} "
+        f"(same 1/H knee as Coin-Gen)"
+    )
+    benchmark(lambda: run_refresh(FIELD, N, T, make_table(4, seed=54), seed=55))
+
+
+def test_recovery_cost(benchmark, report):
+    def run():
+        table = make_table(4, seed=60)
+        # blank player 5's shares (it lost them while corrupted)
+        from repro.protocols.coin_expose import CoinShare
+
+        table[5] = [
+            CoinShare(c.coin_id, c.senders, c.t, None) for c in table[5]
+        ]
+        return run_recovery(FIELD, N, T, recovering=5, coin_table=table, seed=61)
+
+    outputs, metrics = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(o.success for o in outputs.values())
+    report.row(
+        f"recovery of 4 coins: total bits={metrics.bits:,}, "
+        f"interpolations/player={metrics.ops(2).interpolations} "
+        f"(+1 masked-decode at the recovering player: "
+        f"{metrics.ops(5).interpolations})"
+    )

@@ -1,0 +1,79 @@
+"""E14 (Section 1.2) — bootstrapping under a mobile adversary.
+
+Paper claim: prior amortization efforts "work subject to the proviso that
+the set of faulty players remain (relatively) fixed.  In contrast, this
+is not required by our method.  In fact, one of the motivations ... is
+pro-active security ..., which deals with settings where intruders are
+allowed to move over time."
+
+Regenerated series: batches completed, coins delivered, and output
+quality while the corrupt set is redrawn before every batch.
+"""
+
+import pytest
+
+from repro.analysis import stats
+from repro.core import BootstrapCoinSource
+from repro.fields import GF2k
+from repro.net.adversary import MobileAdversary
+
+K = 32
+FIELD = GF2k(K)
+N, T = 7, 1
+
+
+@pytest.mark.parametrize("behaviour", ["silent", "noise"])
+def test_mobile_adversary_pipeline(benchmark, report, behaviour):
+    mobile = MobileAdversary(N, T, behaviour=behaviour, seed=41)
+    source = BootstrapCoinSource(
+        FIELD, N, T, batch_size=8, seed=42,
+        adversary_schedule=lambda epoch: mobile.next_epoch(),
+    )
+    # 768 bits = 24 k-ary coins: forces several batches of 8
+    bits = source.tosses(768)
+    distinct_sets = len(set(mobile.history))
+    bias = stats.bias(bits)
+    report.row(
+        f"mobile {behaviour:6s}: {source.epoch} batches, "
+        f"{distinct_sets} distinct corrupt sets, 768 bits, bias={bias:.4f}"
+    )
+    assert source.epoch >= 2
+    assert distinct_sets >= 2
+    assert bias < 0.1
+
+    def small_run():
+        mob = MobileAdversary(N, T, behaviour=behaviour, seed=1)
+        src = BootstrapCoinSource(
+            FIELD, N, T, batch_size=4, seed=2,
+            adversary_schedule=lambda e: mob.next_epoch(),
+        )
+        return src.tosses(32)
+
+    benchmark(small_run)
+
+
+def test_previously_corrupt_players_recover(report, benchmark):
+    """A player corrupted during batch b holds no shares of batch-b coins
+    but participates fully in batch b+1 — the pipeline heals."""
+    schedule_log = []
+
+    def schedule(epoch):
+        from repro.net.adversary import Adversary
+
+        corrupt = {(epoch % N) + 1}
+        schedule_log.append(corrupt)
+        return Adversary(corrupt, behaviour="silent")
+
+    source = BootstrapCoinSource(
+        FIELD, N, T, batch_size=4, seed=43, adversary_schedule=schedule,
+    )
+    values = [source.toss_element() for _ in range(40)]
+    assert len(set(values)) == 40
+    # corruption rotated across several players over the run
+    touched = set().union(*schedule_log)
+    report.row(
+        f"corruption rotated over players {sorted(touched)}; "
+        f"40/40 coins exposed unanimously"
+    )
+    assert len(touched) >= 4
+    benchmark(lambda: source.toss())

@@ -1,0 +1,93 @@
+"""E5 (Section 1.4 / 3.1) — VSS head-to-head: ours vs [9] vs [12].
+
+Paper claims, for one secret with security parameter k:
+
+* ours: 2n messages / 2nk bits, 2 interpolations, error 1/p;
+* cut-and-choose [9]: k interpolations for error 2^-k, O(nk log n) bits;
+* Feldman [12]: O(n) communication but t exponentiations = t log p
+  multiplications per party, under a discrete-log assumption.
+
+Shape to reproduce: ours wins communication and interpolation counts at
+equal (or better) soundness; Feldman pays orders of magnitude more
+multiplications.
+"""
+
+import pytest
+
+from repro.baselines import run_cut_and_choose_vss, run_feldman_vss
+from repro.fields import GF2k
+from repro.protocols.vss import run_vss
+
+K = 32
+FIELD = GF2k(K)
+N, T = 7, 2
+CHALLENGES = 16  # [9] at error 2^-16 (still weaker than our 2^-32)
+
+
+def test_ours(benchmark, report):
+    results, metrics = benchmark.pedantic(
+        lambda: run_vss(FIELD, N, T, seed=1), rounds=3, iterations=1
+    )
+    assert all(r.accepted for r in results.values())
+    report.row(
+        f"ours (Fig.2)      : interp/player={metrics.ops(2).interpolations}, "
+        f"muls/player={metrics.ops(2).muls}, bits={metrics.bits}, "
+        f"error=1/2^{K}"
+    )
+
+
+def test_cut_and_choose(benchmark, report):
+    results, metrics = benchmark.pedantic(
+        lambda: run_cut_and_choose_vss(FIELD, N, T, challenges=CHALLENGES, seed=2),
+        rounds=3,
+        iterations=1,
+    )
+    assert all(r.accepted for r in results.values())
+    report.row(
+        f"cut-and-choose [9]: interp/player={metrics.ops(2).interpolations}, "
+        f"muls/player={metrics.ops(2).muls}, bits={metrics.bits}, "
+        f"error=1/2^{CHALLENGES}"
+    )
+
+
+def test_feldman(benchmark, report):
+    results, metrics = benchmark.pedantic(
+        lambda: run_feldman_vss(N, T, q_bits=K, seed=3), rounds=3, iterations=1
+    )
+    assert all(r.accepted for r in results.values())
+    report.row(
+        f"Feldman [12]      : interp/player={metrics.ops(2).interpolations}, "
+        f"muls/player={metrics.ops(2).muls}, bits={metrics.bits}, "
+        f"error=computational (dlog)"
+    )
+
+
+def test_shape_ours_wins(report, benchmark):
+    """The comparison table's verdicts.
+
+    Feldman's muls are over a cryptographic group ("a large prime p,
+    length 1024 bits" in the paper); ours are over GF(2^32).  To compare
+    computation fairly we weight each multiplication by its naive bit
+    cost (bit_length^2 word operations), which is exactly the unit of the
+    paper's addition-counting model.
+    """
+    _, ours = run_vss(FIELD, N, T, seed=4)
+    _, cc = run_cut_and_choose_vss(FIELD, N, T, challenges=CHALLENGES, seed=4)
+    _, feld = run_feldman_vss(N, T, q_bits=256, seed=4)
+
+    # interpolations: 2 vs k+1 vs 0
+    assert ours.ops(2).interpolations < cc.ops(2).interpolations
+    # communication: ours beats cut-and-choose by ~the challenge factor
+    assert ours.bits < cc.bits
+
+    ours_work = ours.ops(2).muls * FIELD.bit_length**2
+    feld_work = feld.ops(2).muls * feld.element_bits**2
+    # Feldman's group-sized exponentiations dominate at real parameters —
+    # and this is at 256-bit groups; the paper cites 1024-bit.
+    assert feld_work > 5 * ours_work
+    report.row(
+        f"shape: bits ratio cc/ours = {cc.bits / ours.bits:.1f} (>1), "
+        f"bit-weighted work ratio feldman(256b)/ours = "
+        f"{feld_work / max(1, ours_work):.1f} (>>1; paper assumes 1024b)"
+    )
+    benchmark(lambda: run_vss(FIELD, N, T, seed=5))

@@ -1,0 +1,104 @@
+"""E1 + E3 (Lemmas 1, 3) — soundness of VSS and Batch-VSS.
+
+Paper claims: a cheating dealer is accepted with probability at most
+1/p (single VSS) and at most M/p (Batch-VSS).  Over the deliberately
+tiny field GF(2^4) (p=16) we run the *optimal* cheaters — which meet the
+bounds with equality — and compare empirical acceptance rates.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import GF2k
+from repro.poly.polynomial import Polynomial
+from repro.protocols.batch_vss import run_batch_vss
+from repro.protocols.vss import run_vss
+
+TINY = GF2k(4)  # p = 16
+N = 7
+
+
+def optimal_vss_cheater(seed, t=1):
+    """Lemma 1's best strategy: guess r* and cancel the bad coefficient."""
+    field = TINY
+    rng = random.Random(seed + 10_000)
+    d = field.random_nonzero(rng)
+    r_star = field.random_nonzero(rng)
+    offsets = {
+        pid: field.mul(d, field.pow(field.element_point(pid), t + 1))
+        for pid in range(1, N + 1)
+    }
+    g = Polynomial.random(field, t, rng) + Polynomial(
+        field, [field.zero] * (t + 1) + [field.neg(field.div(d, r_star))]
+    )
+    results, _ = run_vss(field, N, t, seed=seed, cheat_offsets=offsets, cheat_g=g)
+    return all(r.accepted for r in results.values())
+
+
+def optimal_batch_cheater(seed, M=5, t=1):
+    """Lemma 3's best strategy: plant M-1 roots plus r=0."""
+    field = TINY
+    roots = [field.from_int(v) for v in range(1, M)]
+    poly = Polynomial.constant(field, field.one)
+    for rho in roots:
+        poly = poly * Polynomial(field, [field.neg(rho), field.one])
+    cheat_offsets = {
+        idx: {
+            pid: field.mul(
+                poly.coefficient(idx),
+                field.pow(field.element_point(pid), t + 1),
+            )
+            for pid in range(1, N + 1)
+        }
+        for idx in range(M)
+    }
+    results, _ = run_batch_vss(
+        field, N, t, M=M, seed=seed, cheat_offsets=cheat_offsets
+    )
+    return all(r.accepted for r in results.values())
+
+
+def test_e1_vss_soundness(benchmark, report):
+    trials = 320
+    accepts = sum(optimal_vss_cheater(seed) for seed in range(trials))
+    rate = accepts / trials
+    bound = 1 / TINY.order
+    report.row(
+        f"E1 single VSS : empirical accept rate {rate:.4f} over {trials} "
+        f"trials vs paper bound 1/p = {bound:.4f}"
+    )
+    # the optimal cheater should be near (and never far above) the bound
+    assert rate <= 3 * bound + 0.02
+    assert accepts > 0
+    benchmark(lambda: optimal_vss_cheater(1))
+
+
+@pytest.mark.parametrize("M", [2, 5, 8])
+def test_e3_batch_vss_soundness(benchmark, report, M):
+    trials = 192
+    accepts = sum(optimal_batch_cheater(seed, M=M) for seed in range(trials))
+    rate = accepts / trials
+    bound = M / TINY.order
+    report.row(
+        f"E3 batch VSS M={M}: empirical accept rate {rate:.4f} over {trials} "
+        f"trials vs paper bound M/p = {bound:.4f}"
+    )
+    assert rate <= bound + 0.09
+    assert rate >= bound - 0.11
+    benchmark(lambda: optimal_batch_cheater(1, M=M))
+
+
+def test_soundness_grows_linearly_in_m(report, benchmark):
+    """The shape claim behind Lemma 3: acceptance scales ~linearly in M."""
+    trials = 160
+    rates = {}
+    for M in (2, 8):
+        accepts = sum(
+            optimal_batch_cheater(seed, M=M) for seed in range(trials)
+        )
+        rates[M] = accepts / trials
+    report.row(f"E3 shape: rate(M=8)/rate(M=2) = "
+               f"{rates[8] / max(rates[2], 1e-9):.2f} (claim ~4)")
+    assert rates[8] > 1.5 * rates[2]
+    benchmark(lambda: optimal_batch_cheater(0, M=2))

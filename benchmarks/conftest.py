@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark writes its measured rows to ``benchmarks/results/<id>.txt``
+so that EXPERIMENTS.md's paper-vs-measured tables can be regenerated from
+a plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import pathlib
+import shutil
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    """One results set per benchmark session (no cross-run accumulation)."""
+    shutil.rmtree(RESULTS_DIR, ignore_errors=True)
+    yield
+
+
+class Reporter:
+    """Collects table rows for one experiment and flushes them to disk."""
+
+    def __init__(self, experiment_id: str):
+        self.experiment_id = experiment_id
+        self.lines = []
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.experiment_id}.txt"
+        existing = path.read_text() if path.exists() else ""
+        with path.open("a") as handle:
+            if not existing:
+                handle.write(f"# experiment {self.experiment_id}\n")
+            for line in self.lines:
+                handle.write(line + "\n")
+
+
+@pytest.fixture()
+def report(request):
+    """Per-test reporter named after the test's module."""
+    module = request.module.__name__.replace("bench_", "")
+    reporter = Reporter(module)
+    yield reporter
+    reporter.flush()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Randomized Byzantine agreement powered by the D-PRBG.
+
+The paper's motivation (Section 1): applications like BA consume coins in
+bulk, repeatedly.  This example runs a sequence of Byzantine agreements
+where a corrupt player equivocates to keep honest votes split — the
+shared coin is what breaks the symmetry — and shows the coin source
+regenerating batches on demand behind the scenes.
+
+Run:  python examples/randomized_agreement.py
+"""
+
+import random
+
+from repro import BootstrapCoinSource
+from repro.apps import CommonCoinBA
+from repro.fields import GF2k
+from repro.net.adversary import Adversary
+
+
+def splitting_adversary(round_no, corrupt_pid, receiver, honest_values):
+    """Shows a different bit to each receiver, keeping counts inconclusive."""
+    return receiver % 2
+
+
+def main() -> None:
+    n, t = 7, 1
+    source = BootstrapCoinSource(
+        GF2k(32), n, t, batch_size=8, seed=7,
+        adversary_schedule=lambda epoch: Adversary({7}),
+    )
+    ba = CommonCoinBA(source)
+    rng = random.Random(11)
+
+    print(f"system: n={n}, t={t}; player 7 is Byzantine and equivocates\n")
+    total_coins = 0
+    for execution in range(1, 11):
+        inputs = {pid: rng.randrange(2) for pid in range(1, n + 1)}
+        outcome = ba.agree(inputs, byzantine_votes=splitting_adversary)
+        decided = set(outcome.decisions.values())
+        total_coins += outcome.coins_used
+        print(
+            f"execution {execution:2d}: inputs="
+            f"{''.join(str(inputs[p]) for p in range(1, n + 1))} "
+            f"-> decision {decided.pop()} "
+            f"({outcome.rounds} rounds, {outcome.coins_used} coins)"
+        )
+        assert outcome.agreed
+
+    print(f"\ntotal shared coins consumed : {total_coins}")
+    print(f"D-PRBG batches generated    : {source.epoch}")
+    print(f"trusted-dealer interactions : 1 (the initial seed, ever)")
+
+
+if __name__ == "__main__":
+    main()

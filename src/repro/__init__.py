@@ -1,0 +1,69 @@
+"""repro — Distributed Pseudo-Random Bit Generators (PODC 1996).
+
+A full reimplementation of Bellare, Garay & Rabin, "Distributed
+Pseudo-Random Bit Generators — A New Way to Speed-Up Shared Coin
+Tossing", including every substrate the paper assumes: finite fields,
+Shamir sharing, Berlekamp-Welch decoding, a synchronous Byzantine network
+simulator, grade-cast, deterministic Byzantine agreement, the VSS /
+Batch-VSS / Bit-Gen / Coin-Gen / Coin-Expose protocols, the D-PRBG core,
+the bootstrap coin source of Fig. 1, and the Section 1.4 baselines.
+
+Quick start::
+
+    from repro import BootstrapCoinSource
+    from repro.fields import GF2k
+
+    source = BootstrapCoinSource(field=GF2k(32), n=7, t=1, batch_size=16)
+    bit = source.toss()          # one shared coin bit, unanimous across players
+    word = source.toss_element() # a full k-ary shared coin
+"""
+
+from repro.fields import GF2k, GFp, SpecialField, build_special_field
+from repro.sharing import Share, ShamirScheme
+from repro.protocols import (
+    CoinShare,
+    run_batch_vss,
+    run_bit_gen,
+    run_coin_gen,
+    run_vss,
+)
+from repro.core import (
+    DPRBG,
+    BootstrapCoinSource,
+    CoinSequence,
+    SharedCoin,
+    SharedCoinSystem,
+    StretchResult,
+    TrustedDealer,
+    UnanimityError,
+    VerifiedSecretStore,
+)
+from repro.apps import CommonCoinBA, LeaderElection, run_randomized_ba
+
+__all__ = [
+    "GF2k",
+    "GFp",
+    "SpecialField",
+    "build_special_field",
+    "Share",
+    "ShamirScheme",
+    "CoinShare",
+    "run_vss",
+    "run_batch_vss",
+    "run_bit_gen",
+    "run_coin_gen",
+    "DPRBG",
+    "BootstrapCoinSource",
+    "CoinSequence",
+    "SharedCoin",
+    "SharedCoinSystem",
+    "StretchResult",
+    "TrustedDealer",
+    "UnanimityError",
+    "VerifiedSecretStore",
+    "CommonCoinBA",
+    "LeaderElection",
+    "run_randomized_ba",
+]
+
+__version__ = "1.0.0"

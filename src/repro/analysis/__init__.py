@@ -1,0 +1,12 @@
+"""Analytical companions to the experiments.
+
+* :mod:`repro.analysis.complexity` — the paper's cost formulas (Lemmas 2,
+  4, 6; Theorem 2; Corollaries 1-3) as executable functions, so benchmarks
+  can check measured counts against the claimed asymptotics.
+* :mod:`repro.analysis.stats` — statistical tests on coin output (bias,
+  uniformity, serial correlation, runs).
+"""
+
+from repro.analysis import complexity, report, rounds, stats, verifier
+
+__all__ = ["complexity", "report", "rounds", "stats", "verifier"]

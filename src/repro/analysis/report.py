@@ -1,0 +1,140 @@
+"""Assemble the measured-results report from the benchmark artifacts.
+
+``pytest benchmarks/ --benchmark-only`` writes one row file per
+experiment under ``benchmarks/results/``; this module stitches them into
+a single markdown document (the regenerable core of EXPERIMENTS.md) and
+renders ASCII sparklines for the amortization curves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Dict, List, Optional, Sequence
+
+#: display order and titles for the known experiments
+EXPERIMENT_TITLES = {
+    "vss_soundness": "E1/E3 — VSS and Batch-VSS soundness (Lemmas 1, 3)",
+    "vss_single": "E2 — single-VSS cost (Lemma 2)",
+    "batch_vss": "E4 — Batch-VSS amortization (Lemma 4, Corollary 1)",
+    "vss_comparison": "E5 — VSS comparison: ours vs [9] vs [12]",
+    "bit_gen": "E6 — Bit-Gen cost (Lemma 6, Corollary 2)",
+    "coin_gen": "E7 — Coin-Gen amortization (Theorem 2, Corollary 3)",
+    "ba_iterations": "E8 — expected BA iterations (Lemma 8)",
+    "bootstrap": "E9 — bootstrapping (Fig. 1)",
+    "from_scratch_vs_dprbg": "E10 — from-scratch vs D-PRBG",
+    "field_arithmetic": "E11 — naive vs special field (Section 2 remark)",
+    "coin_quality": "E12 — coin quality under attack",
+    "coin_expose": "E13 — robust exposure (Theorem 1)",
+    "proactive": "E14 — mobile adversary (Section 1.2)",
+    "coin_sources": "E15 — coin-source comparison (Section 1.4)",
+    "maintenance": "E16 — proactive maintenance costs",
+    "substrates": "E17 — agreement-substrate ablation",
+}
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """ASCII sparkline over ``values`` (empty-safe)."""
+    points = [v for v in values if v == v]  # drop NaNs
+    if not points:
+        return ""
+    low, high = min(points), max(points)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(points)
+    out = []
+    for v in points:
+        index = int((v - low) / (high - low) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def extract_series(lines: Sequence[str], pattern: str) -> List[float]:
+    """Pull the first float matching ``pattern`` from each line."""
+    series = []
+    regex = re.compile(pattern)
+    for line in lines:
+        match = regex.search(line)
+        if match:
+            series.append(float(match.group(1).replace(",", "")))
+    return series
+
+
+def load_results(results_dir: pathlib.Path) -> Dict[str, List[str]]:
+    """Parse every ``<experiment>.txt`` row file."""
+    results: Dict[str, List[str]] = {}
+    if not results_dir.is_dir():
+        return results
+    for path in sorted(results_dir.glob("*.txt")):
+        lines = [
+            line
+            for line in path.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        results[path.stem] = lines
+    return results
+
+
+def render(results: Dict[str, List[str]]) -> str:
+    """The full markdown report."""
+    sections = ["# Measured results (regenerated)", ""]
+    known = [key for key in EXPERIMENT_TITLES if key in results]
+    unknown = sorted(set(results) - set(EXPERIMENT_TITLES))
+    for key in known + unknown:
+        title = EXPERIMENT_TITLES.get(key, key)
+        sections.append(f"## {title}")
+        sections.append("")
+        sections.append("```")
+        sections.extend(results[key])
+        sections.append("```")
+        extra = _curve_for(key, results[key])
+        if extra:
+            sections.append(extra)
+        sections.append("")
+    if not known and not unknown:
+        sections.append(
+            "_No benchmark artifacts found — run "
+            "`pytest benchmarks/ --benchmark-only` first._"
+        )
+    return "\n".join(sections)
+
+
+def _curve_for(key: str, lines: List[str]) -> Optional[str]:
+    """Sparkline annotations for the experiments with a sweep."""
+    if key == "batch_vss":
+        series = extract_series(lines, r"bits/secret=\s*([\d,.]+)")
+        if len(series) >= 3:
+            return f"bits/secret vs M: `{sparkline(series)}` (1/M decay)"
+    if key == "coin_gen":
+        series = extract_series(lines, r"bits/coin-bit=\s*([\d,.]+)")
+        if len(series) >= 3:
+            return f"bits/coin-bit sweep: `{sparkline(series)}`"
+    if key == "maintenance":
+        series = extract_series(lines, r"bits/coin=\s*([\d,.]+)")
+        if len(series) >= 3:
+            return f"refresh bits/coin vs H: `{sparkline(series)}`"
+    return None
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI shim
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results",
+        default=pathlib.Path(__file__).parents[3] / "benchmarks" / "results",
+        type=pathlib.Path,
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+    text = render(load_results(args.results))
+    if args.out:
+        args.out.write_text(text)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

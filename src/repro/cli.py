@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``toss``    generate shared coin bits or k-ary coins from a bootstrapped
+            source and print them;
+``costs``   print the paper's cost formulas evaluated at given parameters
+            (the lemma-by-lemma cheat sheet);
+``vss``     run Protocol VSS once, honest or cheating, and report the
+            unanimous verdict plus measured costs;
+``beacon``  run a randomness beacon for a number of ticks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import complexity as cx
+from repro.core import BootstrapCoinSource
+from repro.fields import GF2k
+from repro.protocols.vss import run_vss
+
+
+def _add_system_arguments(parser: argparse.ArgumentParser, default_n: int = 7,
+                          default_t: int = 1) -> None:
+    parser.add_argument("--n", type=int, default=default_n, help="players")
+    parser.add_argument("--t", type=int, default=default_t, help="faults tolerated")
+    parser.add_argument("--k", type=int, default=32, help="security parameter (field GF(2^k))")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+
+def _cmd_toss(args: argparse.Namespace) -> int:
+    source = BootstrapCoinSource(
+        GF2k(args.k), args.n, args.t, batch_size=args.batch, seed=args.seed
+    )
+    if args.elements:
+        for _ in range(args.count):
+            width = (args.k + 3) // 4
+            print(f"0x{source.system.field.to_int(source.toss_element()):0{width}x}")
+    else:
+        bits = source.tosses(args.count)
+        for start in range(0, len(bits), 64):
+            print("".join(map(str, bits[start : start + 64])))
+    if args.stats:
+        print()
+        for key, value in source.amortized_cost_summary().items():
+            print(f"{key:42s} {value:,.2f}" if isinstance(value, float)
+                  else f"{key:42s} {value}")
+    return 0
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    n, t, k, M = args.n, args.t, args.k, args.M
+    vss = cx.vss_single(n, k)
+    batch = cx.batch_vss(n, k, M)
+    bitgen = cx.bit_gen(n, t, k, M)
+    print(f"paper cost formulas at n={n}, t={t}, k={k}, M={M}\n")
+    print(f"Lemma 2  (VSS)      : {vss.additions:,.0f} additions, "
+          f"{vss.interpolations:.0f} interpolations, {vss.messages:.0f} "
+          f"messages, {vss.bits:,.0f} bits")
+    print(f"Lemma 4  (Batch-VSS): {batch.additions:,.0f} additions, "
+          f"{batch.interpolations:.0f} interpolations, {batch.bits:,.0f} bits "
+          f"({cx.batch_vss_amortized_additions(k):,.0f} additions/secret)")
+    print(f"Lemma 6  (Bit-Gen)  : {bitgen.additions:,.0f} additions, "
+          f"{bitgen.bits:,.0f} bits "
+          f"({cx.bit_gen_amortized_per_bit(n, k):,.1f} additions/bit)")
+    print(f"Thm 2    (Coin-Gen) : {cx.coin_gen_additions(n, k, M):,.0f} "
+          f"additions total, {cx.coin_gen_bits(n, t, k, M):,.0f} bits, "
+          f"{cx.coin_gen_interpolations_per_player(n)} interpolations/player")
+    print(f"Cor 3    (amortized): {cx.coin_gen_amortized_bits_per_bit(n, k, M):,.1f} "
+          f"bits/coin-bit, {cx.coin_gen_amortized_ops_per_bit(n, k):,.1f} ops/coin-bit")
+    print(f"Lemma 8  (liveness) : {cx.coin_gen_expected_iterations(n, t):.2f} "
+          f"expected BA iterations")
+    print(f"soundness           : VSS 1/p={cx.vss_soundness_bound(2**k):.2e}, "
+          f"batch M/p={cx.batch_vss_soundness_bound(M, 2**k):.2e}, "
+          f"unanimity {cx.coin_unanimity_error(M, n, k):.2e}")
+    return 0
+
+
+def _cmd_vss(args: argparse.Namespace) -> int:
+    field = GF2k(args.k)
+    cheat = {args.cheat_player: 0xBAD} if args.cheat else None
+    results, metrics = run_vss(
+        field, args.n, args.t, seed=args.seed, cheat_shares=cheat
+    )
+    verdicts = {r.accepted for r in results.values()}
+    if len(verdicts) != 1:
+        print("ERROR: players disagree", file=sys.stderr)
+        return 1
+    verdict = verdicts.pop()
+    print(f"VSS over GF(2^{args.k}), n={args.n}, t={args.t}, "
+          f"dealer {'CHEATING' if args.cheat else 'honest'}")
+    print(f"unanimous verdict : {'ACCEPT' if verdict else 'REJECT'}")
+    summary = metrics.summary()
+    print(f"rounds            : {summary['rounds']}")
+    print(f"messages          : {summary['messages']} (paper accounting)")
+    print(f"bits              : {summary['bits']}")
+    print(f"interpolations    : {summary['max_player_interpolations']} per player")
+    return 0
+
+
+def _cmd_beacon(args: argparse.Namespace) -> int:
+    source = BootstrapCoinSource(
+        GF2k(args.k), args.n, args.t, batch_size=args.batch,
+        low_watermark=2, seed=args.seed,
+    )
+    width = (args.k + 3) // 4
+    for tick in range(1, args.ticks + 1):
+        value = source.system.field.to_int(source.toss_element())
+        print(f"tick {tick:4d}  0x{value:0{width}x}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.verifier import report, verify_all
+
+    checks = verify_all(GF2k(args.k), n=args.n, t=args.t, M=args.M,
+                        seed=args.seed)
+    print(report(checks))
+    return 0 if all(check.passed for check in checks) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Pseudo-Random Bit Generators (PODC 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    toss = sub.add_parser("toss", help="generate shared coins")
+    _add_system_arguments(toss)
+    toss.add_argument("--count", type=int, default=64, help="bits (or elements)")
+    toss.add_argument("--batch", type=int, default=16, help="coins per D-PRBG batch")
+    toss.add_argument("--elements", action="store_true",
+                      help="emit k-ary coins instead of bits")
+    toss.add_argument("--stats", action="store_true",
+                      help="print amortized cost summary")
+    toss.set_defaults(func=_cmd_toss)
+
+    costs = sub.add_parser("costs", help="evaluate the paper's cost formulas")
+    _add_system_arguments(costs)
+    costs.add_argument("--M", type=int, default=64, help="batch size")
+    costs.set_defaults(func=_cmd_costs)
+
+    vss = sub.add_parser("vss", help="run Protocol VSS once")
+    _add_system_arguments(vss, default_t=2)
+    vss.add_argument("--cheat", action="store_true", help="corrupt the dealing")
+    vss.add_argument("--cheat-player", type=int, default=3,
+                     help="whose share to corrupt")
+    vss.set_defaults(func=_cmd_vss)
+
+    beacon = sub.add_parser("beacon", help="run a randomness beacon")
+    _add_system_arguments(beacon)
+    beacon.add_argument("--ticks", type=int, default=10)
+    beacon.add_argument("--batch", type=int, default=16)
+    beacon.set_defaults(func=_cmd_beacon)
+
+    verify = sub.add_parser(
+        "verify", help="measure live runs against the paper's formulas"
+    )
+    _add_system_arguments(verify)
+    verify.add_argument("--M", type=int, default=16, help="batch size")
+    verify.set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

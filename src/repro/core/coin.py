@@ -1,0 +1,53 @@
+"""Bird's-eye handle on one shared (sealed) k-ary coin.
+
+Inside a protocol run, a shared coin exists only as per-player
+:class:`~repro.protocols.coin_expose.CoinShare` values.  The simulation
+layer collects those into a :class:`SharedCoin` so that library users can
+pass coins around, expose them, and feed them back as D-PRBG seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.protocols.coin_expose import CoinShare
+
+
+class UnanimityError(Exception):
+    """Honest players disagreed on an exposed coin (probability <= Mn/2^k)."""
+
+
+@dataclass
+class SharedCoin:
+    """A sealed shared coin: the per-player share map plus public metadata.
+
+    ``shares`` holds one CoinShare per player; a player that missed the
+    generating batch (e.g. it was corrupted at the time) carries a share
+    with ``my_value=None`` and will abstain at expose time.
+    """
+
+    coin_id: str
+    shares: Dict[int, CoinShare]
+    t: int
+    #: which Coin-Gen batch produced it ("dealer" for trusted-dealer seeds)
+    origin: str = "dealer"
+
+    @property
+    def senders(self) -> frozenset:
+        return next(iter(self.shares.values())).senders
+
+    def share_for(self, player_id: int) -> CoinShare:
+        """This player's share; an abstaining share if it holds none."""
+        share = self.shares.get(player_id)
+        if share is None:
+            share = CoinShare(self.coin_id, self.senders, self.t, None)
+        return share
+
+    def holders(self) -> frozenset:
+        """Players that actually hold a usable share value."""
+        return frozenset(
+            pid
+            for pid, share in self.shares.items()
+            if share.my_value is not None
+        )

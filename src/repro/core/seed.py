@@ -1,0 +1,47 @@
+"""The one-time trusted dealer for the initial distributed seed.
+
+Section 1.2: "The initial set of coins can be obtained from a trusted
+third party, as in the case of Rabin [17] ... we remark that in our
+approach the services of a trusted dealer would be used only once, and
+for a small number of coins.  In contrast, as the coins are 'expendable,'
+the approach of [17] requires the dealer to continuously provide them."
+
+The dealer Shamir-shares each seed coin with degree t among all n
+players; once the bootstrap loop is running, it is never consulted again.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.fields.base import Field
+from repro.protocols.coin_expose import make_dealer_coin
+from repro.core.coin import SharedCoin
+
+
+class TrustedDealer:
+    """Deals the initial O(1) seed coins (then retires)."""
+
+    def __init__(self, field: Field, n: int, t: int, seed: int = 0):
+        self.field = field
+        self.n = n
+        self.t = t
+        self._rng = random.Random(seed)
+        self._count = 0
+        #: dealt secrets, retained for test oracles only — a real dealer
+        #: would destroy them ("sealed" coins)
+        self.dealt_secrets = {}
+
+    def deal_seed(self, count: int, prefix: str = "seed") -> List[SharedCoin]:
+        """Deal ``count`` fresh sealed k-ary coins to all players."""
+        coins = []
+        for _ in range(count):
+            coin_id = f"{prefix}-{self._count}"
+            self._count += 1
+            secret, shares = make_dealer_coin(
+                self.field, self.n, self.t, coin_id, self._rng
+            )
+            self.dealt_secrets[coin_id] = secret
+            coins.append(SharedCoin(coin_id, shares, self.t, origin="dealer"))
+        return coins

@@ -1,0 +1,193 @@
+"""Abstract field interface and operation metering.
+
+The paper (Section 2) measures "the computational effort of the players
+executing a protocol by the number of additions that they are required to
+perform", treating a multiplication in GF(2^k) as O(k^2) additions naively
+or O(k log k) in the special field.  :class:`OpCounter` lets every concrete
+field report exactly those primitive counts, so the benchmark harness can
+check measured counts against the closed-form lemmas.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Iterator, List
+
+Element = Any  # representation is field-specific (int or tuple of ints)
+
+
+@dataclass
+class OpCounter:
+    """Mutable tally of primitive field operations.
+
+    Attributes mirror the cost units used by the paper's lemmas:
+    additions, multiplications, inversions, and polynomial interpolations
+    (Lemma 2 counts "2 polynomial interpolations per player").
+    """
+
+    adds: int = 0
+    muls: int = 0
+    invs: int = 0
+    interpolations: int = 0
+
+    def snapshot(self) -> "OpCounter":
+        """Return a frozen copy of the current tallies."""
+        return OpCounter(self.adds, self.muls, self.invs, self.interpolations)
+
+    def reset(self) -> None:
+        """Zero every tally."""
+        self.adds = 0
+        self.muls = 0
+        self.invs = 0
+        self.interpolations = 0
+
+    def delta(self, earlier: "OpCounter") -> "OpCounter":
+        """Return the difference between this counter and an earlier snapshot."""
+        return OpCounter(
+            self.adds - earlier.adds,
+            self.muls - earlier.muls,
+            self.invs - earlier.invs,
+            self.interpolations - earlier.interpolations,
+        )
+
+    def __add__(self, other: "OpCounter") -> "OpCounter":
+        return OpCounter(
+            self.adds + other.adds,
+            self.muls + other.muls,
+            self.invs + other.invs,
+            self.interpolations + other.interpolations,
+        )
+
+    def total_additions(self, k: int, naive: bool = True) -> int:
+        """Convert the tally into the paper's "number of additions" metric.
+
+        A multiplication costs ``k^2`` additions naively or ``k log k`` in
+        the special field (Section 2); an inversion is counted as
+        ``log(p) ~ k`` multiplications via square-and-multiply.
+        """
+        import math
+
+        mul_cost = k * k if naive else max(1, int(k * math.log2(max(k, 2))))
+        return self.adds + mul_cost * (self.muls + k * self.invs)
+
+
+class Field(ABC):
+    """A finite field of size :attr:`order`.
+
+    Elements are immutable, hashable values whose concrete type is chosen by
+    the implementation (``int`` for GF(2^k) and Z_p, ``tuple`` for the
+    special field).  All arithmetic goes through the field object so that
+    operations can be metered.
+    """
+
+    #: number of elements in the field (the paper's ``p``)
+    order: int
+    #: bits needed to transmit one element (the paper's security parameter k)
+    bit_length: int
+    #: additive identity
+    zero: Element
+    #: multiplicative identity
+    one: Element
+
+    def __init__(self) -> None:
+        self.counter = OpCounter()
+
+    # -- arithmetic -------------------------------------------------------
+    @abstractmethod
+    def add(self, a: Element, b: Element) -> Element:
+        """Return ``a + b``."""
+
+    @abstractmethod
+    def sub(self, a: Element, b: Element) -> Element:
+        """Return ``a - b``."""
+
+    @abstractmethod
+    def neg(self, a: Element) -> Element:
+        """Return ``-a``."""
+
+    @abstractmethod
+    def mul(self, a: Element, b: Element) -> Element:
+        """Return ``a * b``."""
+
+    @abstractmethod
+    def inv(self, a: Element) -> Element:
+        """Return the multiplicative inverse of ``a``; raise on zero."""
+
+    def div(self, a: Element, b: Element) -> Element:
+        """Return ``a / b``."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: Element, e: int) -> Element:
+        """Return ``a**e`` by square-and-multiply (``e >= 0``)."""
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        result = self.one
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    # -- conversions ------------------------------------------------------
+    @abstractmethod
+    def from_int(self, value: int) -> Element:
+        """Canonical injection of ``0 <= value < order`` into the field."""
+
+    @abstractmethod
+    def to_int(self, a: Element) -> int:
+        """Inverse of :meth:`from_int`."""
+
+    def element_point(self, player_id: int) -> Element:
+        """The evaluation point assigned to player ``player_id`` (1-based).
+
+        Shamir sharing evaluates the secret polynomial at these points; they
+        must be distinct and nonzero (the secret lives at 0).
+        """
+        if not 1 <= player_id < self.order:
+            raise ValueError(
+                f"player id {player_id} out of range for field of order {self.order}"
+            )
+        return self.from_int(player_id)
+
+    # -- randomness -------------------------------------------------------
+    def random(self, rng) -> Element:
+        """A uniformly random field element drawn from ``rng``."""
+        return self.from_int(rng.randrange(self.order))
+
+    def random_nonzero(self, rng) -> Element:
+        """A uniformly random *nonzero* field element."""
+        return self.from_int(rng.randrange(1, self.order))
+
+    # -- coin extraction --------------------------------------------------
+    def coin_bit(self, a: Element) -> int:
+        """The paper's ``F(0) mod 2`` bit extraction (Fig. 6, step 3)."""
+        return self.to_int(a) & 1
+
+    def coin_bits(self, a: Element) -> List[int]:
+        """All ``bit_length`` bits of an element, least-significant first.
+
+        Section 3.1: "as all our coins will be generated in the field
+        GF(2^k) we can assume that each coin generates in fact k random
+        coins in {0,1}".
+        """
+        value = self.to_int(a)
+        return [(value >> i) & 1 for i in range(self.bit_length)]
+
+    # -- iteration helpers (small fields / tests) -------------------------
+    def elements(self) -> Iterator[Element]:
+        """Iterate every element; only sensible for small test fields."""
+        for value in range(self.order):
+            yield self.from_int(value)
+
+    # -- misc --------------------------------------------------------------
+    def __contains__(self, a: Element) -> bool:
+        try:
+            return 0 <= self.to_int(a) < self.order
+        except (TypeError, ValueError):
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(order={self.order})"

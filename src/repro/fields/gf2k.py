@@ -1,0 +1,211 @@
+"""The binary extension field GF(2^k).
+
+This is the field the paper's protocol figures assume ("For simplicity
+however the algorithms we provide below assume we work over GF(2^k)",
+Section 2).  Elements are ints below ``2^k`` interpreted as GF(2)
+polynomials of degree < k; arithmetic is modulo a fixed irreducible
+polynomial of degree k.
+
+Two multiplication strategies are provided, matching the paper's remark
+that "in practice, when k is small, working over GF(2^k) with the naive
+O(k^2) multiplication is faster":
+
+* ``tables=True`` (default for k <= 16): log/exp tables over a generator,
+  one multiplication = one table add.  Setup is O(2^k).
+* ``tables=False``: naive shift-and-xor carry-less multiplication with
+  modular reduction, O(k^2) bit operations, no setup cost; works for any k.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fields.base import Field
+from repro.fields.irreducible import (
+    find_irreducible_gf2,
+    gf2_degree,
+    is_irreducible_gf2,
+    prime_factors,
+)
+
+_TABLE_MAX_K = 16
+_KARA_BASE_BITS = 32
+
+
+def _base_clmul(a: int, b: int) -> int:
+    """Schoolbook carry-less multiply (no reduction)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def _kara_clmul(a: int, b: int) -> int:
+    """Recursive Karatsuba carry-less multiply (no reduction).
+
+    Over GF(2), Karatsuba's middle term is (a0+a1)(b0+b1) with XOR as
+    addition, giving the classic three-multiplication recursion.
+    """
+    bits = max(a.bit_length(), b.bit_length())
+    if bits <= _KARA_BASE_BITS:
+        return _base_clmul(a, b)
+    half = bits // 2
+    mask = (1 << half) - 1
+    a0, a1 = a & mask, a >> half
+    b0, b1 = b & mask, b >> half
+    low = _kara_clmul(a0, b0)
+    high = _kara_clmul(a1, b1)
+    mid = _kara_clmul(a0 ^ a1, b0 ^ b1) ^ low ^ high
+    return low ^ (mid << half) ^ (high << (2 * half))
+
+
+class GF2k(Field):
+    """GF(2^k) with a deterministic modulus and optional log/exp tables.
+
+    Parameters
+    ----------
+    k:
+        Extension degree; the field has ``2^k`` elements and each element
+        is transmitted as ``k`` bits (the paper's security parameter).
+    modulus:
+        Optional int-encoded irreducible polynomial of degree ``k``.  When
+        omitted, the lexicographically smallest irreducible polynomial is
+        used so all parties derive the same field independently.
+    tables:
+        Force table-based multiplication on/off.  Defaults to on for
+        ``k <= 16``.
+    karatsuba:
+        Use recursive Karatsuba carry-less multiplication (with final
+        reduction) instead of the interleaved shift-and-xor loop — an
+        O(k^1.585) strategy for large k (E11 ablation arm).  Mutually
+        exclusive with ``tables``.
+    """
+
+    def __init__(self, k: int, modulus: Optional[int] = None,
+                 tables: Optional[bool] = None, karatsuba: bool = False):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if modulus is None:
+            modulus = find_irreducible_gf2(k)
+        if gf2_degree(modulus) != k:
+            raise ValueError(f"modulus degree {gf2_degree(modulus)} != k={k}")
+        if not is_irreducible_gf2(modulus):
+            raise ValueError(f"modulus {modulus:#x} is not irreducible")
+        self.k = k
+        self.modulus = modulus
+        self.order = 1 << k
+        self.bit_length = k
+        self.zero = 0
+        self.one = 1
+        self._mask = self.order - 1
+        self._karatsuba = karatsuba
+
+        if tables is None:
+            tables = k <= _TABLE_MAX_K and not karatsuba
+        if tables and karatsuba:
+            raise ValueError("choose either tables or karatsuba, not both")
+        self._exp: Optional[List[int]] = None
+        self._log: Optional[List[int]] = None
+        if tables:
+            if k > _TABLE_MAX_K:
+                raise ValueError(f"log/exp tables limited to k <= {_TABLE_MAX_K}")
+            self._build_tables()
+
+    # -- internal ----------------------------------------------------------
+    def _raw_mul(self, a: int, b: int) -> int:
+        """Carry-less multiply with interleaved reduction (no metering)."""
+        if self._karatsuba:
+            from repro.fields.irreducible import gf2_mod
+
+            return gf2_mod(_kara_clmul(a, b), self.modulus)
+        result = 0
+        mod = self.modulus
+        top = self.order
+        while b:
+            if b & 1:
+                result ^= a
+            b >>= 1
+            a <<= 1
+            if a & top:
+                a ^= mod
+        return result
+
+    def _build_tables(self) -> None:
+        """Find a multiplicative generator and build exp/log tables."""
+        group_order = self.order - 1
+        factors = prime_factors(group_order) if group_order > 1 else []
+        generator = None
+        for candidate in range(2, self.order):
+            if all(self._raw_pow(candidate, group_order // f) != 1 for f in factors):
+                generator = candidate
+                break
+        if generator is None:  # k == 1: the group is trivial
+            generator = 1
+        exp = [1] * (2 * group_order)
+        log = [0] * self.order
+        value = 1
+        for i in range(group_order):
+            exp[i] = value
+            log[value] = i
+            value = self._raw_mul(value, generator)
+        for i in range(group_order, 2 * group_order):
+            exp[i] = exp[i - group_order]
+        self._exp = exp
+        self._log = log
+        self.generator = generator
+
+    def _raw_pow(self, a: int, e: int) -> int:
+        result = 1
+        while e:
+            if e & 1:
+                result = self._raw_mul(result, a)
+            a = self._raw_mul(a, a)
+            e >>= 1
+        return result
+
+    # -- Field interface ----------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        self.counter.adds += 1
+        return a ^ b
+
+    def sub(self, a: int, b: int) -> int:
+        # characteristic 2: subtraction is addition
+        self.counter.adds += 1
+        return a ^ b
+
+    def neg(self, a: int) -> int:
+        return a
+
+    def mul(self, a: int, b: int) -> int:
+        self.counter.muls += 1
+        if a == 0 or b == 0:
+            return 0
+        if self._exp is not None:
+            return self._exp[self._log[a] + self._log[b]]
+        return self._raw_mul(a, b)
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of zero in GF(2^k)")
+        self.counter.invs += 1
+        if self._exp is not None:
+            group_order = self.order - 1
+            return self._exp[(group_order - self._log[a]) % group_order]
+        # a^(2^k - 2) = a^(-1)
+        return self._raw_pow(a, self.order - 2)
+
+    def from_int(self, value: int) -> int:
+        if not 0 <= value < self.order:
+            raise ValueError(f"{value} out of range for GF(2^{self.k})")
+        return value
+
+    def to_int(self, a: int) -> int:
+        return a
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "tables" if self._exp is not None else "clmul"
+        return f"GF2k(k={self.k}, modulus={self.modulus:#x}, {mode})"

@@ -1,0 +1,63 @@
+"""The prime field Z_p.
+
+The paper notes the field "is not necessarily a prime" (Section 2); the
+core protocols run over GF(2^k), but a prime field is needed by
+
+* the Feldman-VSS baseline (Section 1.4), which commits to polynomial
+  coefficients as ``g^a mod p`` and therefore needs a multiplicative group
+  with a hard discrete log; and
+* the NTT underlying the paper's special O(k log k) field.
+"""
+
+from __future__ import annotations
+
+from repro.fields.base import Field
+from repro.fields.irreducible import is_prime
+
+
+class GFp(Field):
+    """Integers modulo a prime ``p``, elements represented as ints in [0, p)."""
+
+    def __init__(self, p: int, check_prime: bool = True):
+        super().__init__()
+        if check_prime and not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.p = p
+        self.order = p
+        self.bit_length = p.bit_length()
+        self.zero = 0
+        self.one = 1 % p
+
+    def add(self, a: int, b: int) -> int:
+        self.counter.adds += 1
+        s = a + b
+        return s - self.p if s >= self.p else s
+
+    def sub(self, a: int, b: int) -> int:
+        self.counter.adds += 1
+        d = a - b
+        return d + self.p if d < 0 else d
+
+    def neg(self, a: int) -> int:
+        return self.p - a if a else 0
+
+    def mul(self, a: int, b: int) -> int:
+        self.counter.muls += 1
+        return a * b % self.p
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of zero in GF(p)")
+        self.counter.invs += 1
+        return pow(a, self.p - 2, self.p)
+
+    def from_int(self, value: int) -> int:
+        if not 0 <= value < self.p:
+            raise ValueError(f"{value} out of range for GF({self.p})")
+        return value
+
+    def to_int(self, a: int) -> int:
+        return a
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GFp(p={self.p})"

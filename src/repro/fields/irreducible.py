@@ -1,0 +1,168 @@
+"""Irreducible polynomials and primality utilities.
+
+Polynomials over GF(2) are encoded as Python ints: bit ``i`` is the
+coefficient of ``x^i`` (so ``0b1011`` is ``x^3 + x + 1``).  Irreducibility
+is decided with Rabin's test:  ``f`` of degree ``n`` is irreducible over
+GF(2) iff ``x^(2^n) == x (mod f)`` and ``gcd(x^(2^(n/d)) - x, f) == 1``
+for every prime divisor ``d`` of ``n``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+
+# ---------------------------------------------------------------------------
+# GF(2)[x] arithmetic on int-encoded polynomials
+# ---------------------------------------------------------------------------
+
+def gf2_degree(poly: int) -> int:
+    """Degree of an int-encoded GF(2) polynomial (degree of 0 is -1)."""
+    return poly.bit_length() - 1
+
+
+def gf2_mod(a: int, mod: int) -> int:
+    """Remainder of ``a`` divided by ``mod`` in GF(2)[x]."""
+    dm = gf2_degree(mod)
+    da = gf2_degree(a)
+    while da >= dm:
+        a ^= mod << (da - dm)
+        da = gf2_degree(a)
+    return a
+
+
+def gf2_mulmod(a: int, b: int, mod: int) -> int:
+    """Carry-less product ``a*b mod mod`` in GF(2)[x]."""
+    a = gf2_mod(a, mod)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if gf2_degree(a) >= gf2_degree(mod):
+            a ^= mod
+    return result
+
+
+def gf2_powmod(a: int, e: int, mod: int) -> int:
+    """``a**e mod mod`` in GF(2)[x] by square-and-multiply."""
+    result = 1
+    a = gf2_mod(a, mod)
+    while e:
+        if e & 1:
+            result = gf2_mulmod(result, a, mod)
+        a = gf2_mulmod(a, a, mod)
+        e >>= 1
+    return result
+
+
+def gf2_gcd(a: int, b: int) -> int:
+    """Greatest common divisor in GF(2)[x]."""
+    while b:
+        a, b = b, gf2_mod(a, b)
+    return a
+
+
+# ---------------------------------------------------------------------------
+# primality / factoring helpers (small inputs; used for field setup only)
+# ---------------------------------------------------------------------------
+
+_MR_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for n < 3.3e24 (covers all our moduli)."""
+    if n < 2:
+        return False
+    for p in _MR_BASES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_BASES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n."""
+    candidate = max(n, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def prime_factors(n: int) -> List[int]:
+    """Distinct prime factors of ``n`` by trial division (setup-time only)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+# ---------------------------------------------------------------------------
+# irreducibility over GF(2)
+# ---------------------------------------------------------------------------
+
+def is_irreducible_gf2(poly: int) -> bool:
+    """Rabin's irreducibility test for an int-encoded GF(2) polynomial."""
+    n = gf2_degree(poly)
+    if n <= 0:
+        return False
+    if n == 1:
+        return True
+    if not poly & 1:  # divisible by x
+        return False
+    x = 0b10
+    # x^(2^n) mod poly must equal x
+    t = x
+    for _ in range(n):
+        t = gf2_mulmod(t, t, poly)
+    if t != x:
+        return False
+    for d in prime_factors(n):
+        t = x
+        for _ in range(n // d):
+            t = gf2_mulmod(t, t, poly)
+        if gf2_gcd(t ^ x, poly) != 1:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def find_irreducible_gf2(k: int) -> int:
+    """Smallest irreducible polynomial of degree ``k`` over GF(2).
+
+    The search is deterministic (lexicographic over the low coefficients)
+    so every process agrees on the field modulus without coordination —
+    important because all players must share the same field.
+    """
+    if k < 1:
+        raise ValueError("degree must be positive")
+    high = 1 << k
+    # constant term must be 1, otherwise x divides the polynomial
+    for low in range(1, high, 2):
+        candidate = high | low
+        if is_irreducible_gf2(candidate):
+            return candidate
+    raise RuntimeError(f"no irreducible polynomial of degree {k} found")

@@ -1,0 +1,45 @@
+"""Synchronous-network substrate (the paper's model, Section 2).
+
+"We consider a synchronous network of n players P_1,...,P_n ... which
+communicate by sending messages.  We assume that private channels are
+available between the players.  Of the n players, a subset of size at most
+t of them is assumed to be able to deviate arbitrarily from the protocol,
+and even collude."
+
+:class:`~repro.net.simulator.SynchronousNetwork` provides lock-step rounds
+over private point-to-point channels plus an optional ideal broadcast
+channel (assumed by the Section 3 protocols, dropped in Section 4).
+Message, bit, and per-player field-operation metering reproduce the
+quantities the paper's lemmas count.
+"""
+
+from repro.net.simulator import (
+    ALL,
+    Send,
+    SynchronousNetwork,
+    broadcast,
+    multicast,
+    unicast,
+)
+from repro.net.metrics import NetworkMetrics, payload_field_elements
+from repro.net.adversary import (
+    Adversary,
+    crash_program,
+    echo_noise_program,
+    silent_program,
+)
+
+__all__ = [
+    "ALL",
+    "Send",
+    "SynchronousNetwork",
+    "broadcast",
+    "multicast",
+    "unicast",
+    "NetworkMetrics",
+    "payload_field_elements",
+    "Adversary",
+    "silent_program",
+    "crash_program",
+    "echo_noise_program",
+]

@@ -1,0 +1,125 @@
+"""Metering of communication and computation.
+
+The paper states costs in three units: messages, bits (message size in
+multiples of the security parameter ``k``), and field additions /
+interpolations per player.  This module tallies all of them.
+
+Bit accounting
+--------------
+A payload's size is ``k`` bits per field element it carries.  Payloads are
+arbitrary nested tuples/lists/dicts; every ``int`` inside counts as one
+field element (protocol tags are strings and count as free O(1) headers,
+matching the paper's convention of measuring only the k-sized data).
+This is exact for the int-element fields (GF(2^k), Z_p) that every metered
+benchmark uses.
+
+Broadcast accounting follows the paper: one use of the (assumed) broadcast
+channel is one message of its size (Lemma 2 counts a round where every
+player broadcasts as "n messages each of size k").  Physical unicast
+fan-out is tallied separately so both accountings are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict
+
+from repro.fields.base import OpCounter
+
+
+def payload_field_elements(payload: Any) -> int:
+    """Number of field elements (ints) carried by a payload."""
+    if isinstance(payload, bool):
+        return 0
+    if isinstance(payload, int):
+        return 1
+    if isinstance(payload, (str, bytes)) or payload is None:
+        return 0
+    if isinstance(payload, dict):
+        return sum(
+            payload_field_elements(k) + payload_field_elements(v)
+            for k, v in payload.items()
+        )
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(payload_field_elements(item) for item in payload)
+    if hasattr(payload, "__dict__"):
+        return payload_field_elements(vars(payload))
+    return 0
+
+
+@dataclass
+class NetworkMetrics:
+    """Tallies for one protocol execution."""
+
+    #: bits per field element (the security parameter k)
+    element_bits: int = 1
+    rounds: int = 0
+    #: point-to-point messages (a multicast to n players counts n)
+    unicast_messages: int = 0
+    #: uses of the ideal broadcast channel (each counts once, per the paper)
+    broadcast_messages: int = 0
+    #: total bits under the paper's accounting
+    bits: int = 0
+    #: per-player field-operation counters (player id -> OpCounter)
+    player_ops: Dict[int, OpCounter] = dataclass_field(default_factory=dict)
+
+    def record_unicast(self, payload: Any) -> None:
+        self.unicast_messages += 1
+        self.bits += self.element_bits * payload_field_elements(payload)
+
+    def record_broadcast(self, payload: Any) -> None:
+        self.broadcast_messages += 1
+        self.bits += self.element_bits * payload_field_elements(payload)
+
+    def add_player_ops(self, player_id: int, delta: OpCounter) -> None:
+        current = self.player_ops.setdefault(player_id, OpCounter())
+        current.adds += delta.adds
+        current.muls += delta.muls
+        current.invs += delta.invs
+        current.interpolations += delta.interpolations
+
+    # -- summaries -----------------------------------------------------------
+    @property
+    def paper_messages(self) -> int:
+        """Messages under the paper's accounting (broadcast = 1 message)."""
+        return self.unicast_messages + self.broadcast_messages
+
+    def ops(self, player_id: int) -> OpCounter:
+        """Operation counter for one player (zeros if it never computed)."""
+        return self.player_ops.get(player_id, OpCounter())
+
+    def max_player_ops(self) -> OpCounter:
+        """The busiest player's counter — the paper's "per player" cost."""
+        best = OpCounter()
+        for counter in self.player_ops.values():
+            if counter.adds + counter.muls >= best.adds + best.muls:
+                best = counter
+        return best
+
+    def total_ops(self) -> OpCounter:
+        total = OpCounter()
+        for counter in self.player_ops.values():
+            total = total + counter
+        return total
+
+    def merged_from(self, other: "NetworkMetrics") -> None:
+        """Accumulate another run's tallies into this one."""
+        self.rounds += other.rounds
+        self.unicast_messages += other.unicast_messages
+        self.broadcast_messages += other.broadcast_messages
+        self.bits += other.bits
+        for pid, counter in other.player_ops.items():
+            self.add_player_ops(pid, counter)
+
+    def summary(self) -> Dict[str, int]:
+        busiest = self.max_player_ops()
+        return {
+            "rounds": self.rounds,
+            "messages": self.paper_messages,
+            "unicast_messages": self.unicast_messages,
+            "broadcast_messages": self.broadcast_messages,
+            "bits": self.bits,
+            "max_player_adds": busiest.adds,
+            "max_player_muls": busiest.muls,
+            "max_player_interpolations": busiest.interpolations,
+        }

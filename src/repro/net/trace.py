@@ -1,0 +1,78 @@
+"""Protocol execution tracing.
+
+A :class:`Tracer` observes a :class:`~repro.net.simulator.SynchronousNetwork`
+run and records, per round: which players sent, message counts per tag
+prefix, and byte volumes.  Useful for debugging protocol round structure
+and for the documentation's round-by-round tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, List, Tuple
+
+
+def payload_tag(payload: Any) -> str:
+    """The tag of a conventional ``(tag, body)`` payload, else ``"?"``."""
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return payload[0]
+    return "?"
+
+
+@dataclass
+class RoundTrace:
+    """What happened in one synchronous round."""
+
+    number: int
+    #: messages per (src, tag): count
+    messages: Dict[Tuple[int, str], int] = dataclass_field(default_factory=dict)
+
+    def record(self, src: int, payload: Any) -> None:
+        key = (src, payload_tag(payload))
+        self.messages[key] = self.messages.get(key, 0) + 1
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def tags(self) -> List[str]:
+        return sorted({tag for _, tag in self.messages})
+
+    def senders(self) -> List[int]:
+        return sorted({src for src, _ in self.messages})
+
+
+class Tracer:
+    """Collects per-round traces; attach via ``SynchronousNetwork(observer=...)``."""
+
+    def __init__(self) -> None:
+        self.rounds: List[RoundTrace] = []
+
+    def observe(self, round_number: int, deliveries) -> None:
+        """Observer hook: called once per round with (dst, src, payload)."""
+        trace = RoundTrace(round_number)
+        for _dst, src, payload in deliveries:
+            trace.record(src, payload)
+        self.rounds.append(trace)
+
+    # -- reporting -----------------------------------------------------------
+    def phase_summary(self) -> List[Tuple[int, int, List[str]]]:
+        """(round, message count, tags) per round — the protocol's shape."""
+        return [(r.number, r.total_messages, r.tags()) for r in self.rounds]
+
+    def timeline(self) -> str:
+        """Human-readable round-by-round table."""
+        lines = ["round | msgs | phases"]
+        lines.append("------+------+-------")
+        for r in self.rounds:
+            tags = ", ".join(r.tags()) or "-"
+            lines.append(f"{r.number:5d} | {r.total_messages:4d} | {tags}")
+        return "\n".join(lines)
+
+    def messages_by_tag(self) -> Dict[str, int]:
+        """Total message counts aggregated by tag."""
+        totals: Dict[str, int] = {}
+        for r in self.rounds:
+            for (_src, tag), count in r.messages.items():
+                totals[tag] = totals.get(tag, 0) + count
+        return totals

@@ -1,0 +1,20 @@
+"""Polynomials over finite fields: evaluation, interpolation, decoding.
+
+The paper treats "the interpolation of a polynomial as a basic step"
+(Section 2) and relies on the Berlekamp-Welch decoder to interpolate in
+the presence of up to ``t`` corrupted shares (Figs. 4 and 6).
+"""
+
+from repro.poly.polynomial import Polynomial, horner_batch
+from repro.poly.lagrange import interpolate, interpolate_at, check_degree
+from repro.poly.berlekamp_welch import berlekamp_welch, DecodingError
+
+__all__ = [
+    "Polynomial",
+    "horner_batch",
+    "interpolate",
+    "interpolate_at",
+    "check_degree",
+    "berlekamp_welch",
+    "DecodingError",
+]

@@ -1,0 +1,102 @@
+"""Berlekamp-Welch decoding of Reed-Solomon-coded shares.
+
+The paper cites the Berlekamp-Welch decoder [5] as the method for
+interpolating "a polynomial F(x) through the shares in S" when up to ``t``
+of the shares may be corrupted by faulty players (Fig. 4 step 5, Fig. 6
+step 2).
+
+Given N points of which at most ``e`` are wrong and the underlying
+polynomial has degree <= t, decoding succeeds whenever
+``N >= t + 2e + 1``.  The decoder solves the key equation
+``Q(x_i) = y_i * E(x_i)`` for an error-locator ``E`` (monic, degree e) and
+``Q`` (degree <= t + e), then recovers ``F = Q / E``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.fields.base import Element, Field
+from repro.poly.linalg import solve_linear_system
+from repro.poly.polynomial import Polynomial
+
+Point = Tuple[Element, Element]
+
+
+class DecodingError(Exception):
+    """No polynomial of the requested degree explains enough of the points."""
+
+
+def max_correctable_errors(num_points: int, degree: int) -> int:
+    """Largest ``e`` with ``num_points >= degree + 2e + 1``."""
+    return max(0, (num_points - degree - 1) // 2)
+
+
+def berlekamp_welch(
+    field: Field,
+    points: Sequence[Point],
+    degree: int,
+    max_errors: int = None,
+) -> Tuple[Polynomial, List[int]]:
+    """Decode ``points`` to a polynomial of degree <= ``degree``.
+
+    Returns ``(F, good_indices)`` where ``good_indices`` lists the
+    positions whose values match ``F``.  Raises :class:`DecodingError` when
+    no degree-``degree`` polynomial agrees with at least
+    ``len(points) - max_errors`` of the points.
+
+    Counted as a single interpolation in the field's counter, matching the
+    paper's accounting ("the Berlekamp-Welch decoder can be used to
+    implement this operation", Section 2).
+    """
+    points = list(points)
+    n = len(points)
+    xs = [x for x, _ in points]
+    if len(set(xs)) != n:
+        raise ValueError("decoding points must have distinct x coordinates")
+    if n < degree + 1:
+        raise DecodingError(f"need at least {degree + 1} points, got {n}")
+    if max_errors is None:
+        max_errors = max_correctable_errors(n, degree)
+    max_errors = min(max_errors, max_correctable_errors(n, degree))
+    field.counter.interpolations += 1
+
+    for e in range(max_errors, -1, -1):
+        candidate = _try_decode(field, points, degree, e)
+        if candidate is None:
+            continue
+        good = [i for i, (x, y) in enumerate(points) if candidate(x) == y]
+        if len(good) >= n - max_errors:
+            return candidate, good
+    raise DecodingError(
+        f"no degree-{degree} polynomial matches >= {n - max_errors} of {n} points"
+    )
+
+
+def _try_decode(field: Field, points: List[Point], t: int, e: int):
+    """Solve the key equation for exactly ``e`` allowed errors."""
+    # unknowns: Q_0..Q_{t+e} then E_0..E_{e-1} (E is monic of degree e)
+    q_terms = t + e + 1
+    rows = []
+    rhs = []
+    for x, y in points:
+        powers = [field.one]
+        for _ in range(t + e):
+            powers.append(field.mul(powers[-1], x))
+        row = powers[:q_terms]
+        # -y * x^j for the E coefficients
+        row += [field.neg(field.mul(y, powers[j])) for j in range(e)]
+        rows.append(row)
+        # RHS: y * x^e   (from the monic leading term of E)
+        rhs.append(field.mul(y, powers[e]))
+    solution = solve_linear_system(field, rows, rhs)
+    if solution is None:
+        return None
+    q_poly = Polynomial(field, solution[:q_terms])
+    e_poly = Polynomial(field, solution[q_terms:] + [field.one])
+    quotient, remainder = q_poly.divmod(e_poly)
+    if not remainder.is_zero():
+        return None
+    if quotient.degree > t:
+        return None
+    return quotient

@@ -1,0 +1,64 @@
+"""Gaussian elimination over an arbitrary finite field.
+
+Used by the Berlekamp-Welch decoder to solve its key equation.  Matrices
+are lists of row lists of field elements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fields.base import Element, Field
+
+
+def solve_linear_system(
+    field: Field, matrix: List[List[Element]], rhs: List[Element]
+) -> Optional[List[Element]]:
+    """Any solution ``x`` of ``matrix @ x == rhs``, or None if inconsistent.
+
+    Performs fraction-free row reduction with partial "pivoting" (any
+    nonzero pivot works in a field).  Free variables are set to zero.
+    """
+    rows = len(matrix)
+    if rows == 0:
+        return []
+    cols = len(matrix[0])
+    a = [list(row) + [b] for row, b in zip(matrix, rhs)]
+
+    pivot_cols: List[int] = []
+    row = 0
+    for col in range(cols):
+        pivot_row = next(
+            (r for r in range(row, rows) if a[r][col] != field.zero), None
+        )
+        if pivot_row is None:
+            continue
+        a[row], a[pivot_row] = a[pivot_row], a[row]
+        inv_pivot = field.inv(a[row][col])
+        a[row] = [field.mul(v, inv_pivot) for v in a[row]]
+        for r in range(rows):
+            if r == row or a[r][col] == field.zero:
+                continue
+            factor = a[r][col]
+            a[r] = [
+                field.sub(v, field.mul(factor, w)) for v, w in zip(a[r], a[row])
+            ]
+        pivot_cols.append(col)
+        row += 1
+        if row == rows:
+            break
+
+    # rows below the pivot rank must be all-zero including the RHS
+    for r in range(row, rows):
+        if any(v != field.zero for v in a[r][:cols]):
+            continue  # unreachable after full elimination, kept for safety
+        if a[r][cols] != field.zero:
+            return None
+    for r in range(rows):
+        if all(v == field.zero for v in a[r][:cols]) and a[r][cols] != field.zero:
+            return None
+
+    solution = [field.zero] * cols
+    for r, col in enumerate(pivot_cols):
+        solution[col] = a[r][cols]
+    return solution

@@ -1,0 +1,70 @@
+"""The paper's protocols (Figs. 2-6) and their agreement substrates.
+
+Broadcast-channel model (Section 3, ``n >= 3t+1``):
+
+* :mod:`repro.protocols.vss` — Protocol VSS (Fig. 2)
+* :mod:`repro.protocols.batch_vss` — Protocol Batch-VSS (Fig. 3)
+
+Point-to-point model (Section 4, ``n >= 6t+1``):
+
+* :mod:`repro.protocols.bit_gen` — Protocol Bit-Gen (Fig. 4)
+* :mod:`repro.protocols.coin_gen` — Protocol Coin-Gen (Fig. 5)
+* :mod:`repro.protocols.coin_expose` — Protocol Coin-Expose (Fig. 6)
+
+Substrates:
+
+* :mod:`repro.protocols.gradecast` — Feldman-Micali Grade-Cast
+* :mod:`repro.protocols.ba` — deterministic Byzantine agreement (phase king)
+* :mod:`repro.protocols.clique` — consistency graph + Gavril clique finding
+"""
+
+from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
+from repro.protocols.vss import run_vss, vss_program, VSSResult
+from repro.protocols.vss_complaints import (
+    run_vss_with_complaints,
+    vss_complaints_program,
+    ComplaintVSSResult,
+)
+from repro.protocols.batch_vss import run_batch_vss, batch_vss_program
+from repro.protocols.gradecast import parallel_gradecast
+from repro.protocols.ba import phase_king
+from repro.protocols.eig import eig_program, run_eig
+from repro.protocols.broadcast import broadcast_program, run_broadcast
+from repro.protocols.clique import gavril_clique, mutual_graph
+from repro.protocols.bit_gen import run_bit_gen, BitGenOutput
+from repro.protocols.coin_gen import run_coin_gen, coin_gen_program, CoinGenOutput
+from repro.protocols.refresh import run_refresh, refresh_program, RefreshOutput
+from repro.protocols.recovery import run_recovery, recovery_program, RecoveryOutput
+
+__all__ = [
+    "CoinShare",
+    "coin_expose",
+    "make_dealer_coin",
+    "run_vss",
+    "vss_program",
+    "VSSResult",
+    "run_vss_with_complaints",
+    "vss_complaints_program",
+    "ComplaintVSSResult",
+    "run_batch_vss",
+    "batch_vss_program",
+    "parallel_gradecast",
+    "phase_king",
+    "eig_program",
+    "run_eig",
+    "broadcast_program",
+    "run_broadcast",
+    "gavril_clique",
+    "mutual_graph",
+    "run_bit_gen",
+    "BitGenOutput",
+    "run_coin_gen",
+    "coin_gen_program",
+    "CoinGenOutput",
+    "run_refresh",
+    "refresh_program",
+    "RefreshOutput",
+    "run_recovery",
+    "recovery_program",
+    "RecoveryOutput",
+]

@@ -1,0 +1,185 @@
+"""Protocol Bit-Gen (Fig. 4): verified dealing of M sealed secrets.
+
+Point-to-point model, ``n >= 6t+1`` (Section 4) — no broadcast channel.
+The dealer Shamir-shares M polynomials; a secret coin is exposed as the
+batching scalar ``r``; every player sends its Horner combination ``nu_i``
+to everyone; each player collects the set S of announced combinations and
+Berlekamp-Welch-decodes a polynomial F of degree <= t fitting at least
+``n - t`` of them, outputting ``(F, S)`` on success and ``(bot, S)``
+otherwise.
+
+Because there is no broadcast, "each player can only reach a local
+decision" — two honest players may hold different S sets (a faulty player
+may equivocate its nu).  Coin-Gen (Fig. 5) reconciles these local views.
+
+Cost (Lemma 6): ``M t k log k + 2 M k log k`` additions and 2
+interpolations per player; 3 rounds; ``n M k + 2 n^2 k`` bits.
+
+Privacy (see DESIGN.md Section 5): the decoded F(0) publishes the
+combination ``sum_h r^h f_h(0)`` of the dealt secrets, which would make
+the last coin of a batch predictable from the earlier ones.  With
+``blinding=True`` (the default) the dealer deals ``M+1`` polynomials and
+the extra one — never individually exposed — one-time-pads the
+combination.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.fields.base import Element, Field
+from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
+from repro.poly.polynomial import Polynomial, horner_batch
+from repro.net.metrics import NetworkMetrics
+from repro.net.simulator import SynchronousNetwork, multicast, unicast
+from repro.sharing.shamir import ShamirScheme
+from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
+from repro.protocols.common import filter_tag, valid_element, valid_element_tuple
+
+
+@dataclass
+class BitGenOutput:
+    """A player's local outcome of one Bit-Gen instance."""
+
+    #: the batched verification polynomial F, or None for the paper's "bot"
+    poly: Optional[Polynomial]
+    #: S — the set of announced combinations this player received
+    share_set: Dict[int, Element]
+    #: the raw share tuple received from the dealer (None if missing/invalid)
+    my_shares: Optional[Tuple[Element, ...]]
+    #: the exposed batching scalar r
+    challenge: Optional[Element]
+
+    @property
+    def accepted(self) -> bool:
+        return self.poly is not None
+
+
+def decode_batched(field: Field, points, t: int, n: int) -> Optional[Polynomial]:
+    """Fig. 4 step 5: a degree-<=t polynomial fitting >= n-t of the points.
+
+    Such a polynomial is unique when it exists: two candidates would agree
+    on >= 2(n-t) - n = n - 2t > t points.
+    """
+    if len(points) < n - t:
+        return None
+    max_errors = len(points) - (n - t)
+    try:
+        poly, good = berlekamp_welch(field, points, t, max_errors)
+    except DecodingError:
+        return None
+    if len(good) < n - t:
+        return None
+    return poly
+
+
+def bit_gen_program(
+    field: Field,
+    n: int,
+    t: int,
+    me: int,
+    dealer: int,
+    M: int,
+    coin: CoinShare,
+    dealer_polys=None,
+    tag: str = "bitgen",
+    blinding: bool = True,
+) -> Generator:
+    """One player's side of Protocol Bit-Gen (single dealer).
+
+    The dealer passes ``dealer_polys`` — its list of ``M`` (+1 when
+    blinding) degree-t dealing polynomials.
+    """
+    scheme = ShamirScheme(field, n, t)
+    total = M + (1 if blinding else 0)
+
+    # Step 1: dealer distributes all share tuples.
+    sends = []
+    if me == dealer:
+        if dealer_polys is None or len(dealer_polys) != total:
+            raise ValueError(f"dealer must supply {total} polynomials")
+        sends = [
+            unicast(
+                j,
+                (tag + "/sh", tuple(p(scheme.point(j)) for p in dealer_polys)),
+            )
+            for j in range(1, n + 1)
+        ]
+    inbox = yield sends
+    raw = filter_tag(inbox, tag + "/sh").get(dealer)
+    my_shares = raw if valid_element_tuple(field, raw, total) else None
+
+    # Step 2: expose the secret k-ary coin -> batching scalar r.
+    r = yield from coin_expose(field, me, coin)
+
+    # Step 3: Horner-combine and announce point-to-point.
+    sends = []
+    if r is not None and my_shares is not None:
+        nu = horner_batch(field, list(my_shares), r)
+        sends = [multicast((tag + "/nu", nu))]
+    inbox = yield sends
+    if r is None:
+        return BitGenOutput(None, {}, my_shares, None)
+
+    # Step 4: S <- the announced combinations received.
+    share_set = {
+        src: value
+        for src, value in filter_tag(inbox, tag + "/nu").items()
+        if valid_element(field, value)
+    }
+
+    # Step 5: Berlekamp-Welch interpolation through S.
+    points = [
+        (scheme.point(src), value) for src, value in sorted(share_set.items())
+    ]
+    poly = decode_batched(field, points, t, n)
+    return BitGenOutput(poly, share_set, my_shares, r)
+
+
+def run_bit_gen(
+    field: Field,
+    n: int,
+    t: int,
+    M: int,
+    dealer: int = 1,
+    seed: int = 0,
+    blinding: bool = True,
+    cheat_polys=None,
+    faulty_programs: Optional[Dict[int, Generator]] = None,
+) -> Tuple[Dict[int, BitGenOutput], NetworkMetrics]:
+    """Run one Bit-Gen instance end to end (point-to-point network).
+
+    ``cheat_polys`` lets a test substitute the dealer's polynomials (e.g.
+    degree > t) to exercise Lemma 5's soundness bound.
+    """
+    rng = random.Random(seed)
+    total = M + (1 if blinding else 0)
+    polys = cheat_polys
+    if polys is None:
+        polys = [Polynomial.random(field, t, rng) for _ in range(total)]
+    _, coin_shares = make_dealer_coin(field, n, t, "bitgen-challenge", rng)
+
+    network = SynchronousNetwork(n, field=field, allow_broadcast=False)
+    programs = {}
+    faulty_programs = faulty_programs or {}
+    for pid in range(1, n + 1):
+        if pid in faulty_programs:
+            if faulty_programs[pid] is not None:
+                programs[pid] = faulty_programs[pid]
+            continue
+        programs[pid] = bit_gen_program(
+            field,
+            n,
+            t,
+            pid,
+            dealer,
+            M,
+            coin_shares[pid],
+            dealer_polys=polys if pid == dealer else None,
+            blinding=blinding,
+        )
+    honest = [pid for pid in programs if pid not in faulty_programs]
+    outputs = network.run(programs, wait_for=honest)
+    return outputs, network.metrics

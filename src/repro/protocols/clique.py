@@ -1,0 +1,65 @@
+"""Consistency graph and clique finding (Fig. 5 steps 4-6).
+
+Each player builds a directed graph over players — an edge ``j -> k``
+meaning "player k's announced share fits dealer j's decoded polynomial" —
+then keeps the mutual edges and finds a large clique.
+
+"Due to the above, there is a clique of size at least n - t in G.
+Utilizing the protocol of Gabril ([Garey & Johnson], p. 134), a clique can
+be found of size at least n - 2t."  Gavril's trick: take a *maximal
+matching* in the complement graph; the unmatched vertices are pairwise
+adjacent in G (otherwise the matching wasn't maximal), i.e. a clique, and
+the matching has at most ``t`` edges whenever G contains an (n-t)-clique
+(the complement then has a vertex cover of size t), so at least ``n - 2t``
+vertices remain unmatched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def mutual_graph(n: int, directed_edges: Iterable[Edge]) -> Dict[int, Set[int]]:
+    """Undirected graph keeping only mutually-directed edges (Fig. 5 step 5)."""
+    directed = set(directed_edges)
+    adjacency: Dict[int, Set[int]] = {v: set() for v in range(1, n + 1)}
+    for j, k in directed:
+        if j != k and (k, j) in directed:
+            adjacency[j].add(k)
+            adjacency[k].add(j)
+    return adjacency
+
+
+def gavril_clique(adjacency: Dict[int, Set[int]]) -> List[int]:
+    """A clique of size >= n - 2 * (complement vertex cover) via Gavril.
+
+    Deterministic (greedy matching over lexicographically ordered vertex
+    pairs) so that all honest players with the same view compute the same
+    clique.  Returns the clique as a sorted list.
+    """
+    vertices = sorted(adjacency)
+    matched: Set[int] = set()
+    for i, u in enumerate(vertices):
+        if u in matched:
+            continue
+        for v in vertices[i + 1 :]:
+            if v in matched:
+                continue
+            if v not in adjacency[u]:  # edge in the complement graph
+                matched.add(u)
+                matched.add(v)
+                break
+    clique = [v for v in vertices if v not in matched]
+    return clique
+
+
+def is_clique(adjacency: Dict[int, Set[int]], members: Iterable[int]) -> bool:
+    """Are all members pairwise adjacent?"""
+    members = list(members)
+    return all(
+        b in adjacency.get(a, ())
+        for i, a in enumerate(members)
+        for b in members[i + 1 :]
+    )

@@ -1,0 +1,489 @@
+"""Protocol Coin-Gen (Fig. 5): generate M sealed shared coins.
+
+Point-to-point model, ``n >= 6t+1``.  Every player acts as a Bit-Gen
+dealer in parallel (all instances reuse one exposed challenge coin r —
+"using the same coin r for all invocations", saving n-1 interpolations);
+each player decodes every instance, builds the consistency graph, finds a
+Gavril clique, grade-casts its proposal (clique + decoded polynomials),
+and the players then repeatedly (a) expose a seed coin to elect a random
+leader l and (b) run one deterministic Byzantine agreement on whether
+player l's grade-cast proposal is acceptable, until a BA outputs 1.
+
+A player's BA input is 1 iff (Fig. 5 step 10):
+
+  i)   its confidence in P_l's grade-cast is 2;
+  ii)  the proposed clique C_l has size >= n - 2t (>= 4t+1);
+  iii) at least 3t+1 members j of C_l pass, in this player's own view,
+       the full consistency check: for every k in C_l, the combination
+       nu_j announced by j for dealer k satisfies F_k(j) = nu_j, where
+       F_k is the polynomial l grade-cast.
+
+On success the h-th coin is the sealed value ``sum_{k in C_l} f_{k,h}(0)``
+(at least one clique dealer is honest, so the sum is uniform and secret);
+a player's coin share is the corresponding sum of its raw shares, which it
+will only send at expose time if its own shares passed the consistency
+check against the agreed polynomials (self-verification — see DESIGN.md
+Section 5 for why this, plus Coin-Expose's robust acceptance rule, yields
+unanimity without a common 3t+1 sender set).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.fields.base import Element, Field
+from repro.poly.polynomial import Polynomial, horner_batch
+from repro.net.metrics import NetworkMetrics
+from repro.net.simulator import SynchronousNetwork, multicast, unicast
+from repro.sharing.shamir import ShamirScheme
+from repro.protocols.ba import phase_king
+from repro.protocols.bit_gen import decode_batched
+from repro.protocols.clique import gavril_clique, mutual_graph
+from repro.protocols.coin_expose import (
+    CoinShare,
+    coin_expose,
+    coin_expose_many,
+    coin_to_index,
+    make_dealer_coin,
+)
+from repro.protocols.common import filter_tag, valid_element, valid_element_tuple
+from repro.protocols.gradecast import parallel_gradecast
+
+
+@dataclass
+class CoinGenOutput:
+    """A player's local outcome of one Coin-Gen run."""
+
+    success: bool
+    #: the commonly agreed clique C_l (empty tuple on failure)
+    clique: Tuple[int, ...] = ()
+    #: this player's shares of the M generated sealed coins
+    coins: List[CoinShare] = dataclass_field(default_factory=list)
+    #: number of leader-election/BA iterations executed (Lemma 8)
+    iterations: int = 0
+    #: seed coins consumed (challenges + leader elections)
+    seed_coins_used: int = 0
+    #: the exposed batching challenge(s)
+    challenge: Optional[Element] = None
+    #: whether this player's own shares verified (it will send at expose)
+    self_ok: bool = False
+    #: the agreed (public) batched polynomials per clique dealer — common
+    #: knowledge after the grade-cast; retained for analysis and tests
+    public_polys: Dict[int, "Polynomial"] = dataclass_field(default_factory=dict)
+
+
+def validate_proposal(field: Field, n: int, t: int, value, vanish_at=None):
+    """Check a grade-cast proposal's structure and degree bounds.
+
+    Returns ``(clique, {dealer: Polynomial})`` or None.  Purely a function
+    of the (common) grade-cast value, so all honest players agree on it.
+    With ``vanish_at`` set, the batched polynomials must vanish at that
+    point (share-refresh mode: the origin; share-recovery mode: the
+    recovering player's point).
+    """
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 3
+        or value[0] != "prop"
+        or not isinstance(value[1], tuple)
+        or not isinstance(value[2], tuple)
+    ):
+        return None
+    clique_raw, polys_raw = value[1], value[2]
+    clique: List[int] = []
+    for j in clique_raw:
+        if not isinstance(j, int) or isinstance(j, bool) or not 1 <= j <= n:
+            return None
+        clique.append(j)
+    if len(set(clique)) != len(clique) or len(clique) < n - 2 * t:
+        return None
+    polys: Dict[int, Polynomial] = {}
+    for item in polys_raw:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            return None
+        j, coeffs = item
+        if j not in clique or j in polys:
+            return None
+        if not isinstance(coeffs, tuple) or len(coeffs) > t + 1:
+            return None
+        if not all(valid_element(field, c) for c in coeffs):
+            return None
+        poly = Polynomial(field, list(coeffs))
+        if vanish_at is not None and poly(vanish_at) != field.zero:
+            return None
+        polys[j] = poly
+    if set(polys) != set(clique):
+        return None
+    return sorted(clique), polys
+
+
+@dataclass
+class DealingAgreement:
+    """Common outcome of the verified-parallel-dealing sub-protocol.
+
+    Produced by :func:`dealing_agreement_program`: all honest players hold
+    the same ``clique``, ``polys``, and ``iterations``; ``shares_from``
+    and ``self_ok`` are local.
+    """
+
+    success: bool
+    clique: Tuple[int, ...] = ()
+    polys: Dict[int, Polynomial] = dataclass_field(default_factory=dict)
+    shares_from: Dict[int, Tuple[Element, ...]] = dataclass_field(default_factory=dict)
+    self_ok: bool = False
+    iterations: int = 0
+    seed_coins_used: int = 0
+    challenge: Optional[Element] = None
+
+
+def dealing_agreement_program(
+    field: Field,
+    n: int,
+    t: int,
+    me: int,
+    total: int,
+    seed_coins: Sequence[CoinShare],
+    rng: random.Random,
+    tag: str,
+    shared_challenge: bool = True,
+    vanish_at: Optional[Element] = None,
+) -> Generator:
+    """The heart of Fig. 5: n parallel verified dealings + clique agreement.
+
+    Every player deals ``total`` degree-t polynomials; dealings are
+    batch-verified with one exposed challenge, reconciled through the
+    consistency graph, Gavril clique, grade-cast, leader election, and
+    one BA per iteration.  Returns a :class:`DealingAgreement`.
+
+    With ``vanish_at`` set, the dealt polynomials (and the acceptance
+    checks) additionally vanish at that point — the origin for the
+    proactive share-refresh protocol (the dealings must not change the
+    refreshed secret), or a player's evaluation point for share recovery
+    (the dealings must not leak that player's share).
+    """
+    if n < 6 * t + 1:
+        raise ValueError(f"Coin-Gen requires n >= 6t+1 (n={n}, t={t})")
+    scheme = ShamirScheme(field, n, t)
+    points = {j: scheme.point(j) for j in range(1, n + 1)}
+    num_challenges = 1 if shared_challenge else n
+    if len(seed_coins) < num_challenges + 1:
+        raise ValueError("not enough seed coins")
+
+    # ---- Round 1: every player deals its polynomials (Bit-Gen step 1).
+    my_polys = [
+        _random_vanishing(field, t, rng, vanish_at) for _ in range(total)
+    ]
+    sends = [
+        unicast(j, (tag + "/sh", tuple(p(points[j]) for p in my_polys)))
+        for j in range(1, n + 1)
+    ]
+    inbox = yield sends
+    raw = filter_tag(inbox, tag + "/sh")
+    shares_from: Dict[int, Tuple[Element, ...]] = {
+        j: raw[j] for j in raw if valid_element_tuple(field, raw[j], total)
+    }
+
+    # ---- Round 2: expose the batching challenge(s).
+    challenges = yield from coin_expose_many(
+        field, me, list(seed_coins[:num_challenges])
+    )
+    if any(c is None for c in challenges):
+        # A seed coin failed to decode; with valid seeds this cannot
+        # happen, and when it does every honest player sees the same
+        # failure (Coin-Expose unanimity) and aborts together.
+        return DealingAgreement(False, seed_coins_used=num_challenges)
+    r_for = (
+        {j: challenges[0] for j in range(1, n + 1)}
+        if shared_challenge
+        else {j: challenges[j - 1] for j in range(1, n + 1)}
+    )
+
+    # ---- Round 3: announce the vector of Horner combinations (one per
+    # dealer), n^2 messages of size nk (Theorem 2).
+    nu_mine: List[object] = []
+    for j in range(1, n + 1):
+        if j in shares_from:
+            nu_mine.append(horner_batch(field, list(shares_from[j]), r_for[j]))
+        else:
+            nu_mine.append("missing")
+    inbox = yield [multicast((tag + "/nu", tuple(nu_mine)))]
+    nu_recv: Dict[int, tuple] = {
+        src: body
+        for src, body in filter_tag(inbox, tag + "/nu").items()
+        if isinstance(body, tuple) and len(body) == n
+    }
+
+    # ---- Local decoding of every Bit-Gen instance (Fig. 4 steps 4-5).
+    decoded: Dict[int, Optional[Polynomial]] = {}
+    for j in range(1, n + 1):
+        pts = [
+            (points[src], vec[j - 1])
+            for src, vec in sorted(nu_recv.items())
+            if valid_element(field, vec[j - 1])
+        ]
+        poly = decode_batched(field, pts, t, n)
+        if (
+            poly is not None
+            and vanish_at is not None
+            and poly(vanish_at) != field.zero
+        ):
+            # the dealing must combine to zero at the protected point; a
+            # cheat evades this with probability <= total/p (Lemma 3)
+            poly = None
+        decoded[j] = poly
+
+    # ---- Steps 4-6: consistency graph and Gavril clique.
+    directed = []
+    for j in range(1, n + 1):
+        poly_j = decoded[j]
+        if poly_j is None:
+            continue
+        for k, vec in nu_recv.items():
+            value = vec[j - 1]
+            if valid_element(field, value) and poly_j(points[k]) == value:
+                directed.append((j, k))
+    adjacency = mutual_graph(n, directed)
+    my_clique = [j for j in gavril_clique(adjacency) if decoded[j] is not None]
+
+    # ---- Step 7: grade-cast the proposal (clique + decoded polynomials).
+    proposal = (
+        "prop",
+        tuple(my_clique),
+        tuple((j, decoded[j].coeffs) for j in my_clique),
+    )
+    graded = yield from parallel_gradecast(n, t, me, proposal, tag + "/gc")
+
+    # ---- Steps 9-11: leader election + BA until acceptance.
+    leader_coins = list(seed_coins[num_challenges:])
+    for iteration, leader_coin in enumerate(leader_coins):
+        elected = yield from coin_expose(field, me, leader_coin)
+        used = num_challenges + iteration + 1
+        if elected is None:
+            return DealingAgreement(
+                False, iterations=iteration + 1, seed_coins_used=used
+            )
+        leader = coin_to_index(field, elected, n)
+
+        value, confidence = graded[leader]
+        parsed = validate_proposal(field, n, t, value, vanish_at=vanish_at)
+        my_input = 0
+        if confidence == 2 and parsed is not None:
+            clique, polys = parsed
+            passing = [
+                j
+                for j in clique
+                if j in nu_recv
+                and all(
+                    valid_element(field, nu_recv[j][k - 1])
+                    and polys[k](points[j]) == nu_recv[j][k - 1]
+                    for k in clique
+                )
+            ]
+            if len(passing) >= 3 * t + 1:
+                my_input = 1
+
+        decision = yield from phase_king(
+            n, t, me, my_input, f"{tag}/ba{iteration}"
+        )
+        if decision != 1:
+            continue
+
+        # BA accepted: some honest player verified, hence (grade-cast
+        # guarantee) every honest player holds the same proposal value.
+        if parsed is None:
+            # Unreachable for honest players when BA's precondition held;
+            # kept as a safe local failure.
+            return DealingAgreement(
+                False, iterations=iteration + 1, seed_coins_used=used
+            )
+        clique, polys = parsed
+
+        # Self-verification: do my raw shares match the agreed polynomials?
+        self_ok = me in clique and all(
+            k in shares_from
+            and valid_element(field, nu_mine[k - 1])
+            and polys[k](points[me]) == nu_mine[k - 1]
+            for k in clique
+        )
+        return DealingAgreement(
+            True,
+            clique=tuple(clique),
+            polys=polys,
+            shares_from=shares_from,
+            self_ok=self_ok,
+            iterations=iteration + 1,
+            seed_coins_used=used,
+            challenge=challenges[0],
+        )
+
+    return DealingAgreement(
+        False,
+        iterations=len(leader_coins),
+        seed_coins_used=len(seed_coins),
+    )
+
+
+def _random_vanishing(field: Field, t: int, rng, vanish_at):
+    """A uniform degree-<=t polynomial, optionally vanishing at a point.
+
+    ``vanish_at=None`` -> unconstrained; zero -> zero constant term;
+    other point x0 -> (x - x0) * q(x) with q uniform of degree t-1.
+    """
+    if vanish_at is None:
+        return Polynomial.random(field, t, rng)
+    if vanish_at == field.zero:
+        return Polynomial.random(field, t, rng, constant=field.zero)
+    q = Polynomial.random(field, t - 1, rng)
+    linear = Polynomial(field, [field.neg(vanish_at), field.one])
+    return linear * q
+
+
+def coin_gen_program(
+    field: Field,
+    n: int,
+    t: int,
+    me: int,
+    M: int,
+    seed_coins: Sequence[CoinShare],
+    rng: random.Random,
+    tag: str = "cg",
+    blinding: bool = True,
+    shared_challenge: bool = True,
+) -> Generator:
+    """One player's side of Protocol Coin-Gen.
+
+    ``seed_coins`` supplies the secret k-ary coins the protocol consumes:
+    the first 1 (or n when ``shared_challenge=False``) as batching
+    challenges, the rest one per leader-election iteration.  ``tag`` must
+    be unique per run — it namespaces the generated coins' identifiers.
+    """
+    total = M + (1 if blinding else 0)
+    agreement = yield from dealing_agreement_program(
+        field, n, t, me, total, seed_coins, rng, tag,
+        shared_challenge=shared_challenge,
+    )
+    if not agreement.success:
+        return CoinGenOutput(
+            False,
+            iterations=agreement.iterations,
+            seed_coins_used=agreement.seed_coins_used,
+        )
+
+    coins: List[CoinShare] = []
+    members = frozenset(agreement.clique)
+    for h in range(M):
+        sigma: Optional[Element] = None
+        if agreement.self_ok:
+            sigma = field.zero
+            for k in agreement.clique:
+                sigma = field.add(sigma, agreement.shares_from[k][h])
+        coins.append(CoinShare(f"{tag}/c{h}", members, t, sigma))
+    return CoinGenOutput(
+        True,
+        clique=agreement.clique,
+        coins=coins,
+        iterations=agreement.iterations,
+        seed_coins_used=agreement.seed_coins_used,
+        challenge=agreement.challenge,
+        self_ok=agreement.self_ok,
+        public_polys=agreement.polys,
+    )
+
+
+# ---------------------------------------------------------------------------
+# whole-protocol runner
+# ---------------------------------------------------------------------------
+
+def make_seed_coins(
+    field: Field, n: int, t: int, count: int, rng, prefix: str = "seed"
+) -> Dict[int, List[CoinShare]]:
+    """Trusted-dealer seed coins for bootstrapping: {player: [CoinShare]}.
+
+    "The initial set of coins can be obtained from a trusted third party,
+    as in the case of Rabin [17]" (Section 1.2).
+    """
+    per_player: Dict[int, List[CoinShare]] = {
+        pid: [] for pid in range(1, n + 1)
+    }
+    for index in range(count):
+        _, shares = make_dealer_coin(field, n, t, f"{prefix}{index}", rng)
+        for pid, share in shares.items():
+            per_player[pid].append(share)
+    return per_player
+
+
+def run_coin_gen(
+    field: Field,
+    n: int,
+    t: int,
+    M: int,
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+    blinding: bool = True,
+    shared_challenge: bool = True,
+    faulty_programs: Optional[Dict[int, Generator]] = None,
+    tag: str = "cg",
+) -> Tuple[Dict[int, CoinGenOutput], NetworkMetrics]:
+    """Run Coin-Gen end to end with fresh trusted-dealer seed coins.
+
+    Returns per-player outputs and network metrics.  Faulty players are
+    supplied as complete replacement programs (or None for crashed).
+    """
+    rng = random.Random(seed)
+    if max_iterations is None:
+        max_iterations = 2 * t + 4
+    num_challenges = 1 if shared_challenge else n
+    seed_coins = make_seed_coins(
+        field, n, t, num_challenges + max_iterations, rng, prefix=f"{tag}-seed"
+    )
+
+    network = SynchronousNetwork(n, field=field, allow_broadcast=False)
+    programs = {}
+    faulty_programs = faulty_programs or {}
+    for pid in range(1, n + 1):
+        if pid in faulty_programs:
+            if faulty_programs[pid] is not None:
+                programs[pid] = faulty_programs[pid]
+            continue
+        programs[pid] = coin_gen_program(
+            field,
+            n,
+            t,
+            pid,
+            M,
+            seed_coins[pid],
+            random.Random(seed * 1_000_003 + pid),
+            tag=tag,
+            blinding=blinding,
+            shared_challenge=shared_challenge,
+        )
+    honest = [pid for pid in programs if pid not in faulty_programs]
+    outputs = network.run(programs, wait_for=honest)
+    return outputs, network.metrics
+
+
+def expose_coin(
+    field: Field,
+    n: int,
+    outputs: Dict[int, CoinGenOutput],
+    h: int,
+    t: int,
+    faulty_programs: Optional[Dict[int, Generator]] = None,
+) -> Tuple[Dict[int, Optional[Element]], NetworkMetrics]:
+    """Run Coin-Expose (Fig. 6) for the h-th coin of a Coin-Gen result."""
+    network = SynchronousNetwork(n, field=field, allow_broadcast=False)
+    programs = {}
+    faulty_programs = faulty_programs or {}
+    for pid in range(1, n + 1):
+        if pid in faulty_programs:
+            if faulty_programs[pid] is not None:
+                programs[pid] = faulty_programs[pid]
+            continue
+        if pid not in outputs or not outputs[pid].success:
+            continue
+        programs[pid] = coin_expose(field, pid, outputs[pid].coins[h])
+    honest = [pid for pid in programs if pid not in faulty_programs]
+    results = network.run(programs, wait_for=honest)
+    return results, network.metrics

@@ -1,0 +1,5 @@
+"""Secret sharing substrate (Shamir [18])."""
+
+from repro.sharing.shamir import Share, ShamirScheme
+
+__all__ = ["Share", "ShamirScheme"]

@@ -1,0 +1,104 @@
+"""Shamir secret sharing over an arbitrary field.
+
+Section 1.3: "the secret is the value of a polynomial at the origin, while
+the players' shares are the values of the polynomial evaluated at the
+players' id's."  Reconstruction comes in two flavours: plain Lagrange
+(all shares honest) and robust Berlekamp-Welch (up to ``t`` corrupted
+shares), matching the paper's use in Figs. 4 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.fields.base import Element, Field
+from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
+from repro.poly.lagrange import interpolate_at
+from repro.poly.polynomial import Polynomial
+
+
+@dataclass(frozen=True)
+class Share:
+    """One player's share: the polynomial evaluated at the player's point."""
+
+    player_id: int  # 1-based
+    value: Element
+
+
+class ShamirScheme:
+    """(t, n) Shamir sharing: any t+1 shares reconstruct, t reveal nothing."""
+
+    def __init__(self, field: Field, n: int, t: int):
+        if not 0 <= t < n:
+            raise ValueError(f"need 0 <= t < n, got t={t}, n={n}")
+        if n >= field.order:
+            raise ValueError(
+                f"field of order {field.order} too small for {n} players"
+            )
+        self.field = field
+        self.n = n
+        self.t = t
+        self._points = [field.element_point(i) for i in range(1, n + 1)]
+
+    # -- dealing ------------------------------------------------------------
+    def share_polynomial(self, secret: Element, rng) -> Polynomial:
+        """A random degree-t polynomial hiding ``secret`` at the origin."""
+        return Polynomial.random(self.field, self.t, rng, constant=secret)
+
+    def deal(self, secret: Element, rng) -> Tuple[Polynomial, List[Share]]:
+        """Deal ``secret``: returns the polynomial and all n shares."""
+        poly = self.share_polynomial(secret, rng)
+        shares = [
+            Share(i, poly(self._points[i - 1])) for i in range(1, self.n + 1)
+        ]
+        return poly, shares
+
+    def share_for(self, poly: Polynomial, player_id: int) -> Share:
+        """Evaluate a dealing polynomial for one player."""
+        return Share(player_id, poly(self.point(player_id)))
+
+    def point(self, player_id: int) -> Element:
+        """The field point assigned to ``player_id``."""
+        return self._points[player_id - 1]
+
+    # -- reconstruction -------------------------------------------------------
+    def reconstruct(self, shares: Iterable[Share]) -> Element:
+        """Plain Lagrange reconstruction; assumes all shares are correct."""
+        pts = [(self.point(s.player_id), s.value) for s in shares]
+        if len(pts) < self.t + 1:
+            raise ValueError(
+                f"need at least t+1={self.t + 1} shares, got {len(pts)}"
+            )
+        return interpolate_at(self.field, pts[: self.t + 1], self.field.zero)
+
+    def reconstruct_robust(
+        self, shares: Sequence[Share], max_errors: int = None
+    ) -> Tuple[Element, List[int]]:
+        """Berlekamp-Welch reconstruction tolerating corrupted shares.
+
+        Returns ``(secret, honest_player_ids)``.  Needs
+        ``len(shares) >= t + 2*max_errors + 1``.  Raises
+        :class:`~repro.poly.berlekamp_welch.DecodingError` when the share
+        set is too corrupted to decode.
+        """
+        pts = [(self.point(s.player_id), s.value) for s in shares]
+        poly, good = berlekamp_welch(self.field, pts, self.t, max_errors)
+        good_ids = [shares[i].player_id for i in good]
+        return poly(self.field.zero), good_ids
+
+    # -- verification helpers ---------------------------------------------------
+    def consistent(self, shares: Iterable[Share]) -> bool:
+        """Do all shares lie on a single degree-<=t polynomial?"""
+        pts = [(self.point(s.player_id), s.value) for s in shares]
+        if len(pts) <= self.t + 1:
+            return True
+        try:
+            _, good = berlekamp_welch(self.field, pts, self.t, max_errors=0)
+        except DecodingError:
+            return False
+        return len(good) == len(pts)
+
+    def share_map(self, shares: Iterable[Share]) -> Dict[int, Element]:
+        """Convenience: {player_id: value}."""
+        return {s.player_id: s.value for s in shares}

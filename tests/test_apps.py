@@ -1,0 +1,101 @@
+"""The randomized-BA application consuming shared coins."""
+
+import random
+
+import pytest
+
+from repro.fields import GF2k
+from repro.apps import CommonCoinBA, run_randomized_ba
+from repro.core import BootstrapCoinSource
+from repro.net.adversary import Adversary
+
+F = GF2k(32)
+N, T = 7, 1
+
+
+def make_source(seed=0, schedule=None):
+    return BootstrapCoinSource(
+        F, N, T, batch_size=8, seed=seed, adversary_schedule=schedule
+    )
+
+
+def splitting_adversary(round_no, corrupt_pid, receiver, honest_values):
+    """Equivocates to keep every receiver's counts inconclusive."""
+    return receiver % 2
+
+
+class TestAgreement:
+    def test_validity_unanimous_inputs(self):
+        ba = CommonCoinBA(make_source(1))
+        for bit in (0, 1):
+            outcome = ba.agree({pid: bit for pid in range(1, N + 1)})
+            assert outcome.agreed
+            assert set(outcome.decisions.values()) == {bit}
+            assert outcome.coins_used == 0  # n-t unanimity from round 1
+
+    def test_agreement_split_inputs_no_adversary(self):
+        ba = CommonCoinBA(make_source(2))
+        outcome = ba.agree({pid: pid % 2 for pid in range(1, N + 1)})
+        assert outcome.agreed
+
+    def test_equivocation_forces_coin_usage(self):
+        """With honest inputs split 3/3 and a corrupt voter equivocating,
+        no count reaches n-2t: every honest player falls through to the
+        shared coin, which then aligns them in one shot."""
+        source = make_source(3, schedule=lambda e: Adversary({7}))
+        ba = CommonCoinBA(source)
+        outcome = ba.agree(
+            {pid: pid % 2 for pid in range(1, N + 1)},
+            byzantine_votes=splitting_adversary,
+        )
+        assert outcome.agreed
+        assert outcome.coins_used >= 1
+        assert source.coins_consumed >= 1
+
+    def test_expected_constant_coins(self):
+        """Across many adversarial agreements the average coin budget is
+        O(1) — the bulk-but-cheap consumption the paper targets."""
+        source = make_source(4, schedule=lambda e: Adversary({7}))
+        outcomes = run_randomized_ba(
+            source,
+            {pid: pid % 2 for pid in range(1, N + 1)},
+            executions=8,
+            byzantine_votes=splitting_adversary,
+        )
+        assert all(o.agreed for o in outcomes)
+        total_coins = sum(o.coins_used for o in outcomes)
+        assert 8 <= total_coins <= 8 * 6
+
+    def test_repeated_executions_trigger_batches(self):
+        """Section 1.2's repeated-application setting: many agreements
+        from one bootstrapped source, regenerating on demand."""
+        source = make_source(5, schedule=lambda e: Adversary({7}))
+        run_randomized_ba(
+            source,
+            {pid: pid % 2 for pid in range(1, N + 1)},
+            executions=12,
+            byzantine_votes=splitting_adversary,
+        )
+        assert source.epoch >= 1
+        assert source.coins_consumed >= 1
+
+    def test_decisions_stable_after_first_decide(self):
+        """Whoever decides first, everyone decides the same value."""
+        rng = random.Random(6)
+
+        def chaotic(round_no, pid, receiver, values):
+            return rng.randrange(2)
+
+        source = make_source(7, schedule=lambda e: Adversary({2}))
+        ba = CommonCoinBA(source)
+        for _ in range(5):
+            inputs = {pid: rng.randrange(2) for pid in range(1, N + 1)}
+            outcome = ba.agree(inputs, byzantine_votes=chaotic)
+            assert outcome.agreed
+
+    def test_requires_5t_plus_1(self):
+        source = BootstrapCoinSource(F, 7, 1, batch_size=4, seed=8)
+        source.system.t = 2  # force violation
+        ba = CommonCoinBA(source)
+        with pytest.raises(ValueError):
+            ba.agree({pid: 1 for pid in range(1, 8)})

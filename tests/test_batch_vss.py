@@ -1,0 +1,135 @@
+"""Protocol Batch-VSS (Fig. 3): batching, soundness (Lemma 3), costs."""
+
+import random
+
+import pytest
+
+from repro.fields import GF2k
+from repro.poly.polynomial import Polynomial
+from repro.protocols.batch_vss import run_batch_vss
+
+F = GF2k(16)
+TINY = GF2k(4)
+N, T = 7, 2
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize("M", [1, 4, 16])
+    def test_honest_dealer_accepted(self, M):
+        results, _ = run_batch_vss(F, N, T, M=M, seed=1)
+        assert all(r.accepted for r in results.values())
+
+    @pytest.mark.parametrize("bad_index", [0, 3, 7])
+    def test_any_bad_dealing_detected(self, bad_index):
+        results, _ = run_batch_vss(
+            F, N, T, M=8, seed=2, cheat_dealings={bad_index: {5: 12345}}
+        )
+        assert not any(r.accepted for r in results.values())
+
+    def test_multiple_bad_dealings_detected(self):
+        results, _ = run_batch_vss(
+            F, N, T, M=8, seed=3,
+            cheat_dealings={1: {2: 1}, 4: {3: 2}, 6: {4: 3}},
+        )
+        assert not any(r.accepted for r in results.values())
+
+    def test_blinding_does_not_change_verdicts(self):
+        good, _ = run_batch_vss(F, N, T, M=4, seed=4, blinding=True)
+        assert all(r.accepted for r in good.values())
+        bad, _ = run_batch_vss(
+            F, N, T, M=4, seed=4, blinding=True, cheat_dealings={2: {1: 9}}
+        )
+        assert not any(r.accepted for r in bad.values())
+
+
+class TestSubsetVariant:
+    def test_accept_subset_passes_on_consistent_players(self):
+        """Batch-VSS(l): check only a given subset of share positions."""
+        results, _ = run_batch_vss(
+            F, N, T, M=4, seed=5, accept_subset=[1, 2, 3, 4, 5, 6]
+        )
+        assert all(r.accepted for r in results.values())
+
+    def test_accept_subset_ignores_outside_corruption(self):
+        """Corruption at player 7 is invisible to Batch-VSS(l) on {1..6}."""
+        results, _ = run_batch_vss(
+            F, N, T, M=4, seed=6,
+            cheat_dealings={1: {7: 123}},
+            accept_subset=[1, 2, 3, 4, 5, 6],
+        )
+        assert all(r.accepted for r in results.values())
+
+    def test_accept_subset_detects_inside_corruption(self):
+        results, _ = run_batch_vss(
+            F, N, T, M=4, seed=7,
+            cheat_dealings={1: {3: 123}},
+            accept_subset=[1, 2, 3, 4, 5, 6],
+        )
+        assert not any(r.accepted for r in results.values())
+
+
+class TestSoundnessLemma3:
+    """Lemma 3: a batch cheater passes with probability <= M/p; the
+    optimal cheater achieves ~ (M-1)/p by planting offsets whose combined
+    x^(t+1) coefficient vanishes on M-1 chosen challenge values."""
+
+    @staticmethod
+    def optimal_cheater_run(seed, M=5):
+        field, n, t = TINY, 7, 1
+        # c(r) = prod_{i=1}^{M-1} (r - rho_i): coefficients c_0..c_{M-1};
+        # offsets to dealing idx make the combined x^{t+1} coefficient
+        # sum_idx r^{idx+1} c_idx = r * c(r) -> roots {0, rho_1..rho_{M-1}}.
+        rhos = [field.from_int(v) for v in range(1, M)]
+        poly = Polynomial.constant(field, field.one)
+        for rho in rhos:
+            poly = poly * Polynomial(field, [field.neg(rho), field.one])
+        coefficients = [poly.coefficient(i) for i in range(M)]
+        cheat_offsets = {
+            idx: {
+                pid: field.mul(
+                    coefficients[idx],
+                    field.pow(field.element_point(pid), t + 1),
+                )
+                for pid in range(1, n + 1)
+            }
+            for idx in range(M)
+        }
+        results, _ = run_batch_vss(
+            field, n, t, M=M, seed=seed, cheat_offsets=cheat_offsets
+        )
+        verdicts = {r.accepted for r in results.values()}
+        assert len(verdicts) == 1
+        return verdicts.pop()
+
+    def test_acceptance_rate_matches_m_over_p(self):
+        trials = 256
+        accepts = sum(
+            self.optimal_cheater_run(seed) for seed in range(trials)
+        )
+        # M = 5 roots {0, 1, 2, 3, 4} -> expected rate 5/16
+        expected = trials * 5 / 16
+        assert abs(accepts - expected) < 30, accepts
+        assert accepts > trials // 8  # clearly more likely than single-VSS
+
+
+class TestCostLemma4:
+    def test_two_interpolations_regardless_of_m(self):
+        for M in (1, 8, 32):
+            _, metrics = run_batch_vss(F, N, T, M=M, seed=8)
+            for pid in range(1, N + 1):
+                assert metrics.ops(pid).interpolations == 2
+
+    def test_communication_independent_of_m(self):
+        """Corollary 1: amortized O(1) messages per verified secret."""
+        _, m1 = run_batch_vss(F, N, T, M=1, seed=9)
+        _, m32 = run_batch_vss(F, N, T, M=32, seed=9)
+        assert m1.paper_messages == m32.paper_messages
+        assert m1.bits == m32.bits
+
+    def test_multiplications_linear_in_m(self):
+        _, m4 = run_batch_vss(F, N, T, M=4, seed=10)
+        _, m32 = run_batch_vss(F, N, T, M=32, seed=10)
+        extra4 = m4.max_player_ops().muls
+        extra32 = m32.max_player_ops().muls
+        # Horner adds exactly M muls per player; everything else constant
+        assert extra32 - extra4 == 28

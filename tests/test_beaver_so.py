@@ -1,0 +1,54 @@
+"""The Beaver-So [2] shape baseline."""
+
+import pytest
+
+from repro.analysis import stats
+from repro.baselines.beaver_so import BeaverSoGenerator, BudgetExhausted
+
+
+class TestGeneration:
+    def test_bits_are_bits(self):
+        gen = BeaverSoGenerator(budget=200, modulus_bits=64, seed=1)
+        bits = gen.bits(200)
+        assert set(bits) <= {0, 1}
+
+    def test_statistical_quality(self):
+        gen = BeaverSoGenerator(budget=3000, modulus_bits=128, seed=2)
+        bits = gen.bits(3000)
+        assert stats.monobit(bits).passed
+        assert stats.serial_correlation(bits).passed
+
+    def test_deterministic_per_seed(self):
+        a = BeaverSoGenerator(budget=50, modulus_bits=64, seed=3).bits(50)
+        b = BeaverSoGenerator(budget=50, modulus_bits=64, seed=3).bits(50)
+        assert a == b
+
+    def test_blum_modulus(self):
+        gen = BeaverSoGenerator(budget=1, modulus_bits=64, seed=4)
+        assert gen.modulus % 4 == 1  # product of two 3-mod-4 primes
+        assert gen.modulus.bit_length() >= 60
+
+
+class TestPreSetSize:
+    def test_budget_enforced(self):
+        """[2]: 'the generation of bits is limited to a pre-set size' —
+        unlike the D-PRBG's endless bootstrap."""
+        gen = BeaverSoGenerator(budget=10, modulus_bits=64, seed=5)
+        gen.bits(10)
+        with pytest.raises(BudgetExhausted):
+            gen.bit()
+
+
+class TestCostShape:
+    def test_one_multiplication_per_bit(self):
+        gen = BeaverSoGenerator(budget=100, modulus_bits=64, seed=6)
+        before = gen.costs.multiplications
+        gen.bits(40)
+        assert gen.costs.multiplications - before == 40
+
+    def test_work_scales_with_modulus(self):
+        small = BeaverSoGenerator(budget=64, modulus_bits=64, seed=7)
+        big = BeaverSoGenerator(budget=64, modulus_bits=256, seed=7)
+        small.bits(64)
+        big.bits(64)
+        assert big.costs.bit_weighted_work() > 10 * small.costs.bit_weighted_work()

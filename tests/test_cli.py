@@ -1,0 +1,79 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestToss:
+    def test_bits(self, capsys):
+        assert main(["toss", "--count", "32", "--batch", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out.replace("\n", "")) == 32
+        assert set(out.replace("\n", "")) <= {"0", "1"}
+
+    def test_elements(self, capsys):
+        assert main(
+            ["toss", "--count", "3", "--elements", "--batch", "4", "--seed", "2"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(line.startswith("0x") for line in lines)
+
+    def test_stats(self, capsys):
+        assert main(
+            ["toss", "--count", "8", "--batch", "4", "--stats", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bits_per_coin" in out
+
+
+class TestCosts:
+    def test_formula_table(self, capsys):
+        assert main(["costs", "--n", "7", "--t", "1", "--M", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 2" in out
+        assert "Batch-VSS" in out
+        assert "Coin-Gen" in out
+        assert "expected BA iterations" in out
+
+
+class TestVSS:
+    def test_honest(self, capsys):
+        assert main(["vss", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPT" in out
+        assert "interpolations    : 2 per player" in out
+
+    def test_cheating(self, capsys):
+        assert main(["vss", "--cheat", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "REJECT" in out
+        assert "CHEATING" in out
+
+
+class TestBeacon:
+    def test_ticks(self, capsys):
+        assert main(["beacon", "--ticks", "4", "--batch", "4", "--seed", "6"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        assert all("tick" in line and "0x" in line for line in lines)
+
+
+class TestVerify:
+    def test_all_claims_pass(self, capsys):
+        assert main(["verify", "--n", "7", "--t", "1", "--M", "4",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "claims verified" in out
+        assert "FAIL" not in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,86 @@
+"""Consistency graph + Gavril clique finding (Fig. 5 steps 4-6)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols.clique import gavril_clique, is_clique, mutual_graph
+
+
+def complete_graph(n):
+    return {v: set(range(1, n + 1)) - {v} for v in range(1, n + 1)}
+
+
+class TestMutualGraph:
+    def test_keeps_only_mutual_edges(self):
+        adj = mutual_graph(4, [(1, 2), (2, 1), (3, 4)])
+        assert adj[1] == {2}
+        assert adj[2] == {1}
+        assert adj[3] == set()
+
+    def test_ignores_self_loops(self):
+        adj = mutual_graph(3, [(1, 1), (2, 3), (3, 2)])
+        assert adj[1] == set()
+        assert adj[2] == {3}
+
+    def test_all_vertices_present(self):
+        adj = mutual_graph(5, [])
+        assert set(adj) == {1, 2, 3, 4, 5}
+
+
+class TestGavril:
+    def test_complete_graph_full_clique(self):
+        assert gavril_clique(complete_graph(7)) == list(range(1, 8))
+
+    def test_empty_graph(self):
+        adj = {v: set() for v in range(1, 5)}
+        clique = gavril_clique(adj)
+        assert len(clique) <= 1 or is_clique(adj, clique)
+
+    def test_deterministic(self):
+        adj = mutual_graph(6, [(i, j) for i in range(1, 7) for j in range(1, 7)
+                               if i != j and (i + j) % 3])
+        assert gavril_clique(adj) == gavril_clique(adj)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        n=st.integers(min_value=4, max_value=13),
+        t=st.integers(min_value=0, max_value=2),
+    )
+    def test_guarantee_with_planted_clique(self, seed, n, t):
+        """If G contains an (n-t)-clique, Gavril returns a clique of size
+        >= n - 2t (the paper's claim via Garey-Johnson p.134)."""
+        if n - t < 2:
+            return
+        rng = random.Random(seed)
+        honest = set(rng.sample(range(1, n + 1), n - t))
+        adj = {v: set() for v in range(1, n + 1)}
+        for a in honest:
+            for b in honest:
+                if a != b:
+                    adj[a].add(b)
+        # adversarial extra edges at random
+        for a in range(1, n + 1):
+            for b in range(a + 1, n + 1):
+                if (a not in honest or b not in honest) and rng.random() < 0.4:
+                    adj[a].add(b)
+                    adj[b].add(a)
+        clique = gavril_clique(adj)
+        assert is_clique(adj, clique)
+        assert len(clique) >= n - 2 * t
+
+
+class TestIsClique:
+    def test_positive(self):
+        adj = complete_graph(4)
+        assert is_clique(adj, [1, 2, 3])
+
+    def test_negative(self):
+        adj = mutual_graph(3, [(1, 2), (2, 1)])
+        assert not is_clique(adj, [1, 2, 3])
+
+    def test_trivial(self):
+        adj = {1: set()}
+        assert is_clique(adj, [1])
+        assert is_clique(adj, [])

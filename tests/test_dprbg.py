@@ -1,0 +1,122 @@
+"""The D-PRBG core: stretching, chaining, unanimity plumbing."""
+
+import pytest
+
+from repro.fields import GF2k
+from repro.core.dprbg import DPRBG, GenerationError, SharedCoinSystem
+from repro.core.seed import TrustedDealer
+from repro.net.adversary import Adversary
+
+F = GF2k(32)
+N, T = 7, 1
+
+
+def make_system(seed=0, adversary=None):
+    return SharedCoinSystem(F, N, T, seed=seed, adversary=adversary)
+
+
+class TestSharedCoinSystem:
+    def test_requires_6t_plus_1(self):
+        with pytest.raises(ValueError):
+            SharedCoinSystem(F, 6, 1)
+
+    def test_generate_and_expose(self):
+        system = make_system()
+        dealer = TrustedDealer(F, N, T, seed=1)
+        seeds = dealer.deal_seed(4)
+        result = system.generate(seeds, M=3)
+        assert len(result.coins) == 3
+        for coin in result.coins:
+            value = system.expose(coin)
+            assert 0 <= F.to_int(value) < F.order
+
+    def test_expose_dealer_coin_matches_dealt_secret(self):
+        system = make_system()
+        dealer = TrustedDealer(F, N, T, seed=2)
+        (coin,) = dealer.deal_seed(1)
+        assert system.expose(coin) == dealer.dealt_secrets[coin.coin_id]
+
+    def test_metrics_accumulate(self):
+        system = make_system()
+        dealer = TrustedDealer(F, N, T, seed=3)
+        seeds = dealer.deal_seed(4)
+        system.generate(seeds, M=2)
+        first = system.total_metrics.bits
+        seeds2 = dealer.deal_seed(4)
+        system.generate(seeds2, M=2)
+        assert system.total_metrics.bits > first
+
+    def test_adversary_swap(self):
+        system = make_system()
+        assert system.corrupt == frozenset()
+        system.set_adversary(Adversary({3}))
+        assert system.corrupt == {3}
+        assert 3 not in system.honest_players()
+
+
+class TestDPRBG:
+    def test_stretch_produces_coins_and_next_seed(self):
+        system = make_system(seed=4)
+        dprbg = DPRBG(system, max_iterations=3)
+        dealer = TrustedDealer(F, N, T, seed=5)
+        seeds = dealer.deal_seed(dprbg.seed_requirement)
+        result = dprbg.stretch(seeds, M=6)
+        assert len(result.coins) == 6
+        assert len(result.next_seed) == dprbg.seed_requirement
+        assert result.iterations >= 1
+
+    def test_chained_stretches_self_sufficient(self):
+        """Fig. 1: the output seed of one stretch drives the next —
+        forever, without the dealer."""
+        system = make_system(seed=6)
+        dprbg = DPRBG(system, max_iterations=3)
+        dealer = TrustedDealer(F, N, T, seed=7)
+        seed = dealer.deal_seed(dprbg.seed_requirement)
+        all_values = []
+        for _ in range(4):
+            result = dprbg.stretch(seed, M=2)
+            seed = result.next_seed + result.unused_seed
+            for coin in result.coins:
+                all_values.append(system.expose(coin))
+        assert len(all_values) == 8
+        assert len(set(all_values)) == 8  # no repeats (overwhelming prob.)
+
+    def test_insufficient_seed_raises(self):
+        system = make_system(seed=8)
+        dprbg = DPRBG(system, max_iterations=3)
+        dealer = TrustedDealer(F, N, T, seed=9)
+        with pytest.raises(GenerationError):
+            dprbg.stretch(dealer.deal_seed(2), M=4)
+
+    def test_seed_requirement_formula(self):
+        system = make_system()
+        assert DPRBG(system, max_iterations=5).seed_requirement == 6
+        assert (
+            DPRBG(system, max_iterations=5, shared_challenge=False).seed_requirement
+            == N + 5
+        )
+
+    def test_stretch_with_silent_adversary(self):
+        system = make_system(seed=10, adversary=Adversary({2}))
+        dprbg = DPRBG(system, max_iterations=4)
+        dealer = TrustedDealer(F, N, T, seed=11)
+        seeds = dealer.deal_seed(dprbg.seed_requirement)
+        result = dprbg.stretch(seeds, M=3)
+        assert len(result.coins) == 3
+        for coin in result.coins:
+            system.expose(coin)  # must not raise
+
+
+class TestSharedCoinHandles:
+    def test_share_for_missing_player_abstains(self):
+        dealer = TrustedDealer(F, N, T, seed=12)
+        (coin,) = dealer.deal_seed(1)
+        del coin.shares[5]
+        share = coin.share_for(5)
+        assert share.my_value is None
+        assert share.coin_id == coin.coin_id
+
+    def test_holders(self):
+        dealer = TrustedDealer(F, N, T, seed=13)
+        (coin,) = dealer.deal_seed(1)
+        assert coin.holders() == frozenset(range(1, N + 1))

@@ -1,0 +1,39 @@
+"""Smoke tests: the shipped examples must run clean."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+# the fast examples run in the test suite; the heavier ones are exercised
+# manually / in CI-nightly style runs
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "trace_walkthrough.py",
+    "proactive_maintenance.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = (EXAMPLES / script).read_text()
+        assert text.startswith("#!/usr/bin/env python"), script
+        assert '"""' in text, script
+        assert "def main()" in text, script

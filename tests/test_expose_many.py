@@ -1,0 +1,67 @@
+"""Batched coin exposure through the system API."""
+
+import pytest
+
+from repro.fields import GF2k
+from repro.core.dprbg import SharedCoinSystem
+from repro.core.seed import TrustedDealer
+from repro.net.adversary import Adversary
+
+F = GF2k(32)
+N, T = 7, 1
+
+
+def make_batch(seed=0, M=6):
+    system = SharedCoinSystem(F, N, T, seed=seed)
+    dealer = TrustedDealer(F, N, T, seed=seed + 1)
+    result = system.generate(dealer.deal_seed(4), M=M)
+    return system, result.coins
+
+
+class TestExposeMany:
+    def test_matches_single_exposures(self):
+        system_a, coins_a = make_batch(seed=1)
+        system_b, coins_b = make_batch(seed=1)
+        batched = system_a.expose_many(coins_a)
+        singles = [system_b.expose(coin) for coin in coins_b]
+        assert batched == singles
+
+    def test_single_round(self):
+        system, coins = make_batch(seed=2)
+        before = system.total_metrics.rounds
+        system.expose_many(coins)
+        delta = system.total_metrics.rounds - before
+        assert delta <= 2  # announcement + drain, regardless of batch size
+
+    def test_batching_saves_rounds(self):
+        system_a, coins_a = make_batch(seed=3)
+        before = system_a.total_metrics.rounds
+        system_a.expose_many(coins_a)
+        batched_rounds = system_a.total_metrics.rounds - before
+
+        system_b, coins_b = make_batch(seed=3)
+        before = system_b.total_metrics.rounds
+        for coin in coins_b:
+            system_b.expose(coin)
+        single_rounds = system_b.total_metrics.rounds - before
+        assert batched_rounds < single_rounds
+
+    def test_empty(self):
+        system, _ = make_batch(seed=4)
+        assert system.expose_many([]) == []
+
+    def test_dealer_coins(self):
+        system = SharedCoinSystem(F, N, T, seed=5)
+        dealer = TrustedDealer(F, N, T, seed=6)
+        coins = dealer.deal_seed(3)
+        values = system.expose_many(coins)
+        assert values == [
+            dealer.dealt_secrets[coin.coin_id] for coin in coins
+        ]
+
+    def test_with_adversary(self):
+        system, coins = make_batch(seed=7)
+        system.set_adversary(Adversary({4}, behaviour="noise", seed=1))
+        values = system.expose_many(coins)
+        assert len(values) == len(coins)
+        assert None not in values

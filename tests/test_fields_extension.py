@@ -1,0 +1,115 @@
+"""The special field GF(q^l) of Section 2."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields.extension import (
+    SpecialField,
+    build_special_field,
+    find_irreducible_zq,
+    is_irreducible_zq,
+)
+from repro.fields.ntt import choose_parameters
+
+
+@pytest.fixture(scope="module")
+def small_field():
+    return SpecialField(17, 4)  # order 17^4 = 83521
+
+
+class TestConstruction:
+    def test_paper_constraint_enforced(self):
+        # requires q >= 2l + 1
+        with pytest.raises(ValueError):
+            SpecialField(5, 4)
+
+    def test_choose_parameters(self):
+        for k in [8, 16, 32, 64, 128]:
+            q, l = choose_parameters(k)
+            assert q >= 2 * l + 1
+            assert q**l >= 1 << k
+
+    def test_build_special_field(self):
+        f = build_special_field(32)
+        assert f.order >= 1 << 32
+        assert f.bit_length >= 32
+
+    def test_irreducible_modulus(self, small_field):
+        assert is_irreducible_zq(small_field._modulus, small_field.q)
+
+    def test_find_irreducible_binomial_preferred(self):
+        poly, c = find_irreducible_zq(4, 17)
+        # x^4 - c is irreducible over Z_17 for some c (e.g. non-residues)
+        assert c is not None
+        assert is_irreducible_zq(poly, 17)
+
+
+class TestAxioms:
+    @given(
+        a=st.integers(min_value=0, max_value=83520),
+        b=st.integers(min_value=0, max_value=83520),
+        c=st.integers(min_value=0, max_value=83520),
+    )
+    def test_field_axioms(self, a, b, c, small_field):
+        f = small_field
+        x, y, z = f.from_int(a), f.from_int(b), f.from_int(c)
+        assert f.add(x, y) == f.add(y, x)
+        assert f.mul(x, y) == f.mul(y, x)
+        assert f.mul(f.mul(x, y), z) == f.mul(x, f.mul(y, z))
+        assert f.mul(x, f.add(y, z)) == f.add(f.mul(x, y), f.mul(x, z))
+        assert f.add(x, f.neg(x)) == f.zero
+        assert f.mul(x, f.one) == x
+
+    @given(a=st.integers(min_value=1, max_value=83520))
+    def test_inverse(self, a, small_field):
+        f = small_field
+        x = f.from_int(a)
+        assert f.mul(x, f.inv(x)) == f.one
+
+    def test_zero_inverse(self, small_field):
+        with pytest.raises(ZeroDivisionError):
+            small_field.inv(small_field.zero)
+
+    @given(a=st.integers(min_value=0, max_value=83520))
+    def test_int_round_trip(self, a, small_field):
+        assert small_field.to_int(small_field.from_int(a)) == a
+
+    def test_from_int_bounds(self, small_field):
+        with pytest.raises(ValueError):
+            small_field.from_int(small_field.order)
+
+
+class TestCrossFieldAgreement:
+    def test_frobenius(self, small_field):
+        """a^q is the Frobenius map: additive and fixing Z_q."""
+        f = small_field
+        rng = random.Random(3)
+        for _ in range(10):
+            a, b = f.random(rng), f.random(rng)
+            fa = f.pow(a, f.q)
+            fb = f.pow(b, f.q)
+            assert f.pow(f.add(a, b), f.q) == f.add(fa, fb)
+        for scalar in range(f.q):
+            embedded = f.from_int(scalar)
+            assert f.pow(embedded, f.q) == embedded
+
+    def test_multiplicative_order_divides_group(self, small_field):
+        f = small_field
+        rng = random.Random(4)
+        group = f.order - 1
+        for _ in range(5):
+            a = f.random_nonzero(rng)
+            assert f.pow(a, group) == f.one
+
+    def test_big_field_mul_matches_schoolbook(self):
+        """NTT path vs naive convolution on a field large enough to NTT."""
+        from repro.fields.ntt import poly_mul_schoolbook
+
+        f = build_special_field(64)
+        rng = random.Random(5)
+        for _ in range(5):
+            a, b = f.random(rng), f.random(rng)
+            prod = poly_mul_schoolbook(list(a), list(b), f.q)
+            assert f.mul(a, b) == f._reduce(prod)

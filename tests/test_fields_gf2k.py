@@ -1,0 +1,172 @@
+"""GF(2^k): field axioms, table/clmul agreement, conversions."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields import GF2k
+from repro.fields.irreducible import find_irreducible_gf2
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """The same field with tables and with raw carry-less multiplication."""
+    return GF2k(8, tables=True), GF2k(8, tables=False)
+
+
+elements8 = st.integers(min_value=0, max_value=255)
+
+
+class TestAxioms:
+    @given(a=elements8, b=elements8, c=elements8)
+    def test_addition_group(self, a, b, c):
+        f = GF2k(8)
+        assert f.add(a, b) == f.add(b, a)
+        assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+        assert f.add(a, f.zero) == a
+        assert f.add(a, f.neg(a)) == f.zero
+
+    @given(a=elements8, b=elements8, c=elements8)
+    def test_multiplication_monoid_and_distributivity(self, a, b, c):
+        f = GF2k(8)
+        assert f.mul(a, b) == f.mul(b, a)
+        assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+        assert f.mul(a, f.one) == a
+        assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    @given(a=st.integers(min_value=1, max_value=255))
+    def test_inverses(self, a):
+        f = GF2k(8)
+        assert f.mul(a, f.inv(a)) == f.one
+        assert f.div(a, a) == f.one
+
+    def test_characteristic_two(self, gf256):
+        for a in [0, 1, 7, 200, 255]:
+            assert gf256.add(a, a) == gf256.zero
+            assert gf256.sub(gf256.zero, a) == a
+
+
+class TestTableVsClmul:
+    @given(a=elements8, b=elements8)
+    def test_multiplication_agrees(self, a, b, pair):
+        tabled, raw = pair
+        assert tabled.mul(a, b) == raw.mul(a, b)
+
+    @given(a=st.integers(min_value=1, max_value=255))
+    def test_inverse_agrees(self, a, pair):
+        tabled, raw = pair
+        assert tabled.inv(a) == raw.inv(a)
+
+    def test_tables_rejected_for_large_k(self):
+        with pytest.raises(ValueError):
+            GF2k(32, tables=True)
+
+    @given(a=elements8, b=elements8)
+    def test_karatsuba_agrees(self, a, b, pair):
+        tabled, _ = pair
+        kara = GF2k(8, karatsuba=True)
+        assert kara.mul(a, b) == tabled.mul(a, b)
+        if a:
+            assert kara.inv(a) == tabled.inv(a)
+
+    def test_karatsuba_large_k(self):
+        import random
+
+        rng = random.Random(0)
+        plain = GF2k(64, tables=False)
+        kara = GF2k(64, karatsuba=True)
+        for _ in range(50):
+            a, b = plain.random(rng), plain.random(rng)
+            assert plain.mul(a, b) == kara.mul(a, b)
+
+    def test_karatsuba_and_tables_exclusive(self):
+        with pytest.raises(ValueError):
+            GF2k(8, tables=True, karatsuba=True)
+
+
+class TestConstruction:
+    def test_default_modulus_is_irreducible_and_deterministic(self):
+        assert GF2k(16).modulus == GF2k(16).modulus == find_irreducible_gf2(16)
+
+    def test_reducible_modulus_rejected(self):
+        # x^4 + 1 = (x+1)^4 over GF(2)
+        with pytest.raises(ValueError):
+            GF2k(4, modulus=0b10001)
+
+    def test_wrong_degree_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            GF2k(8, modulus=0b1011)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            GF2k(0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 8, 16, 32, 64])
+    def test_various_degrees(self, k):
+        f = GF2k(k)
+        assert f.order == 1 << k
+        assert f.bit_length == k
+        a = f.from_int(f.order - 1)
+        assert f.mul(a, f.inv(a)) == f.one
+
+
+class TestConversions:
+    def test_from_int_range(self, gf256):
+        with pytest.raises(ValueError):
+            gf256.from_int(256)
+        with pytest.raises(ValueError):
+            gf256.from_int(-1)
+
+    def test_element_points_distinct_nonzero(self, gf256):
+        points = [gf256.element_point(i) for i in range(1, 20)]
+        assert len(set(points)) == len(points)
+        assert gf256.zero not in points
+
+    def test_element_point_bounds(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.element_point(0)
+        with pytest.raises(ValueError):
+            gf16.element_point(16)
+
+    def test_coin_bits(self, gf256):
+        bits = gf256.coin_bits(0b10110001)
+        assert bits == [1, 0, 0, 0, 1, 1, 0, 1]
+        assert gf256.coin_bit(0b10110001) == 1
+        assert gf256.coin_bit(0b10110000) == 0
+
+    def test_contains(self, gf256):
+        assert 255 in gf256
+        assert 256 not in gf256
+        assert "x" not in gf256
+        assert (1, 2) not in gf256
+
+
+class TestRandomness:
+    def test_random_uniform_small_field(self, gf16):
+        rng = random.Random(1)
+        counts = [0] * 16
+        for _ in range(4000):
+            counts[gf16.random(rng)] += 1
+        assert min(counts) > 150  # expected 250 each
+
+    def test_random_nonzero(self, gf16):
+        rng = random.Random(2)
+        assert all(gf16.random_nonzero(rng) != 0 for _ in range(200))
+
+
+class TestCounter:
+    def test_operations_metered(self, gf2_16):
+        before = gf2_16.counter.snapshot()
+        gf2_16.add(3, 5)
+        gf2_16.mul(3, 5)
+        gf2_16.inv(3)
+        delta = gf2_16.counter.delta(before)
+        assert (delta.adds, delta.muls, delta.invs) == (1, 1, 1)
+
+    def test_total_additions_conversion(self):
+        from repro.fields.base import OpCounter
+
+        counter = OpCounter(adds=10, muls=2)
+        assert counter.total_additions(8, naive=True) == 10 + 2 * 64
+        assert counter.total_additions(8, naive=False) == 10 + 2 * 24

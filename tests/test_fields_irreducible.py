@@ -1,0 +1,104 @@
+"""GF(2)[x] utilities, Rabin irreducibility, primality helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields.irreducible import (
+    find_irreducible_gf2,
+    gf2_degree,
+    gf2_gcd,
+    gf2_mod,
+    gf2_mulmod,
+    gf2_powmod,
+    is_irreducible_gf2,
+    is_prime,
+    next_prime,
+    prime_factors,
+)
+
+
+def brute_force_irreducible(poly: int) -> bool:
+    """Trial division by all lower-degree polynomials."""
+    degree = gf2_degree(poly)
+    if degree <= 0:
+        return False
+    for d in range(2, 1 << degree):
+        if gf2_degree(d) >= 1 and gf2_mod(poly, d) == 0:
+            return False
+    return True
+
+
+class TestGF2Poly:
+    def test_degree(self):
+        assert gf2_degree(0) == -1
+        assert gf2_degree(1) == 0
+        assert gf2_degree(0b1011) == 3
+
+    def test_mod(self):
+        # (x^3 + x + 1) mod (x^2 + 1): x^3+x+1 = x(x^2+1) + 1
+        assert gf2_mod(0b1011, 0b101) == 0b1
+
+    @given(
+        a=st.integers(min_value=0, max_value=1023),
+        b=st.integers(min_value=0, max_value=1023),
+    )
+    def test_mulmod_commutative(self, a, b):
+        mod = 0b100011011  # AES polynomial
+        assert gf2_mulmod(a, b, mod) == gf2_mulmod(b, a, mod)
+
+    def test_powmod_fermat(self):
+        # in GF(2^8): a^(2^8) == a for all a
+        mod = find_irreducible_gf2(8)
+        for a in [1, 2, 77, 255]:
+            assert gf2_powmod(a, 1 << 8, mod) == a
+
+    def test_gcd(self):
+        # gcd((x+1)^2, (x+1)x) = x+1
+        assert gf2_gcd(0b101, 0b110) == 0b11
+
+
+class TestIrreducibility:
+    @pytest.mark.parametrize("degree", [2, 3, 4, 5, 6, 7, 8])
+    def test_matches_brute_force(self, degree):
+        for poly in range(1 << degree, 1 << (degree + 1)):
+            assert is_irreducible_gf2(poly) == brute_force_irreducible(poly)
+
+    def test_known_irreducible(self):
+        assert is_irreducible_gf2(0b111)          # x^2+x+1
+        assert is_irreducible_gf2(0b100011011)    # AES: x^8+x^4+x^3+x+1
+
+    def test_known_reducible(self):
+        assert not is_irreducible_gf2(0b110)      # x^2+x = x(x+1)
+        assert not is_irreducible_gf2(0b10001)    # x^4+1
+
+    @pytest.mark.parametrize("k", [1, 2, 8, 16, 24, 32, 64, 128])
+    def test_find_irreducible(self, k):
+        poly = find_irreducible_gf2(k)
+        assert gf2_degree(poly) == k
+        assert is_irreducible_gf2(poly)
+
+    def test_find_irreducible_bad_degree(self):
+        with pytest.raises(ValueError):
+            find_irreducible_gf2(0)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43}
+        for n in range(45):
+            assert is_prime(n) == (n in primes)
+
+    def test_large(self):
+        assert is_prime(2**31 - 1)
+        assert not is_prime(2**32 - 1)
+        assert is_prime(2**61 - 1)
+
+    def test_next_prime(self):
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+        assert next_prime(0) == 2
+
+    def test_prime_factors(self):
+        assert prime_factors(360) == [2, 3, 5]
+        assert prime_factors(97) == [97]
+        assert prime_factors(2**16 - 1) == [3, 5, 17, 257]

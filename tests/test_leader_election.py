@@ -1,0 +1,66 @@
+"""Leader election driven by shared coins."""
+
+import pytest
+
+from repro.fields import GF2k
+from repro.apps.leader_election import LeaderElection
+from repro.core import BootstrapCoinSource
+from repro.net.adversary import Adversary
+
+F = GF2k(32)
+N, T = 7, 1
+
+
+def make_source(seed=0, schedule=None):
+    return BootstrapCoinSource(F, N, T, batch_size=16, seed=seed,
+                               adversary_schedule=schedule)
+
+
+class TestElection:
+    def test_leader_in_candidate_set(self):
+        election = LeaderElection(make_source(1))
+        for _ in range(10):
+            assert 1 <= election.elect() <= N
+
+    def test_custom_candidates(self):
+        election = LeaderElection(make_source(2), candidates=[10, 20, 30])
+        leaders = election.elect_many(9)
+        assert set(leaders) <= {10, 20, 30}
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            LeaderElection(make_source(3), candidates=[])
+
+    def test_one_coin_per_election_default(self):
+        election = LeaderElection(make_source(4))
+        election.elect_many(6)
+        assert election.total_coins_used() == 6
+
+    def test_distribution_roughly_uniform(self):
+        election = LeaderElection(make_source(5), candidates=[0, 1])
+        leaders = election.elect_many(60)
+        ones = sum(leaders)
+        assert 15 <= ones <= 45
+
+    def test_exact_uniform_rejection_sampling(self):
+        """With 3 candidates over GF(2^32), rejection sampling stays
+        cheap and the result remains in range."""
+        election = LeaderElection(
+            make_source(6), candidates=[7, 8, 9], exact_uniform=True
+        )
+        leaders = election.elect_many(12)
+        assert set(leaders) <= {7, 8, 9}
+        # expected coins/election barely above 1
+        assert election.total_coins_used() <= 18
+
+    def test_under_adversary(self):
+        schedule = lambda e: Adversary({4}, behaviour="noise", seed=e)
+        election = LeaderElection(make_source(7, schedule))
+        leaders = election.elect_many(8)
+        assert all(1 <= l <= N for l in leaders)
+
+    def test_history(self):
+        election = LeaderElection(make_source(8))
+        election.elect_many(3)
+        assert len(election.history) == 3
+        assert all(r.coins_used >= 1 for r in election.history)

@@ -1,0 +1,86 @@
+"""Message/bit/operation metering."""
+
+from repro.fields.base import OpCounter
+from repro.net.metrics import NetworkMetrics, payload_field_elements
+
+
+class TestPayloadSizing:
+    def test_ints_count(self):
+        assert payload_field_elements(5) == 1
+        assert payload_field_elements((1, 2, 3)) == 3
+        assert payload_field_elements([1, (2, 3)]) == 3
+
+    def test_strings_and_none_free(self):
+        assert payload_field_elements("header") == 0
+        assert payload_field_elements(None) == 0
+        assert payload_field_elements(("tag", 1, 2)) == 2
+
+    def test_bools_free(self):
+        assert payload_field_elements(True) == 0
+        assert payload_field_elements((True, 1)) == 1
+
+    def test_dicts(self):
+        assert payload_field_elements({"a": 1, 2: (3, 4)}) == 4
+
+    def test_nested_protocol_payload(self):
+        # a realistic Bit-Gen share message: (tag, (s1..s4))
+        assert payload_field_elements(("bg/sh", (10, 20, 30, 40))) == 4
+
+
+class TestNetworkMetrics:
+    def test_record_and_summary(self):
+        m = NetworkMetrics(element_bits=16)
+        m.record_unicast(("t", 1, 2))
+        m.record_broadcast(("t", 3))
+        assert m.unicast_messages == 1
+        assert m.broadcast_messages == 1
+        assert m.paper_messages == 2
+        assert m.bits == 16 * 3
+        assert m.summary()["messages"] == 2
+
+    def test_player_ops_accumulate(self):
+        m = NetworkMetrics()
+        m.add_player_ops(1, OpCounter(adds=2, muls=3))
+        m.add_player_ops(1, OpCounter(adds=1))
+        assert m.ops(1).adds == 3
+        assert m.ops(1).muls == 3
+        assert m.ops(9).adds == 0
+
+    def test_max_and_total(self):
+        m = NetworkMetrics()
+        m.add_player_ops(1, OpCounter(adds=10))
+        m.add_player_ops(2, OpCounter(adds=3, muls=1))
+        assert m.max_player_ops().adds == 10
+        total = m.total_ops()
+        assert total.adds == 13 and total.muls == 1
+
+    def test_merged_from(self):
+        a = NetworkMetrics(element_bits=8)
+        b = NetworkMetrics(element_bits=8)
+        a.record_unicast(("t", 1))
+        b.record_unicast(("t", 2))
+        b.rounds = 4
+        b.add_player_ops(3, OpCounter(muls=7))
+        a.merged_from(b)
+        assert a.unicast_messages == 2
+        assert a.rounds == 4
+        assert a.ops(3).muls == 7
+
+
+class TestOpCounter:
+    def test_snapshot_delta(self):
+        c = OpCounter()
+        snap = c.snapshot()
+        c.adds += 5
+        c.interpolations += 1
+        d = c.delta(snap)
+        assert (d.adds, d.interpolations) == (5, 1)
+
+    def test_add(self):
+        total = OpCounter(adds=1) + OpCounter(adds=2, muls=3)
+        assert (total.adds, total.muls) == (3, 3)
+
+    def test_reset(self):
+        c = OpCounter(adds=5, muls=5, invs=5, interpolations=5)
+        c.reset()
+        assert (c.adds, c.muls, c.invs, c.interpolations) == (0, 0, 0, 0)

@@ -1,0 +1,94 @@
+"""Number-theoretic transform over Z_q."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields.ntt import (
+    find_ntt_prime,
+    intt,
+    ntt,
+    poly_mul_ntt,
+    poly_mul_schoolbook,
+    primitive_root,
+    root_of_unity,
+)
+
+Q = find_ntt_prime(100, 64)
+
+
+class TestSetup:
+    def test_find_ntt_prime(self):
+        q = find_ntt_prime(1000, 128)
+        assert q >= 1000
+        assert (q - 1) % 128 == 0
+
+    def test_find_ntt_prime_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            find_ntt_prime(100, 48)
+
+    def test_primitive_root(self):
+        g = primitive_root(Q)
+        seen = set()
+        value = 1
+        for _ in range(Q - 1):
+            value = value * g % Q
+            seen.add(value)
+        assert len(seen) == Q - 1
+
+    def test_root_of_unity(self):
+        omega = root_of_unity(Q, 64)
+        assert pow(omega, 64, Q) == 1
+        assert pow(omega, 32, Q) != 1
+
+    def test_root_of_unity_bad_size(self):
+        with pytest.raises(ValueError):
+            root_of_unity(Q, Q + 3)
+
+
+class TestTransform:
+    @given(
+        vec=st.lists(
+            st.integers(min_value=0, max_value=Q - 1), min_size=8, max_size=8
+        )
+    )
+    def test_round_trip(self, vec):
+        omega = root_of_unity(Q, 8)
+        assert intt(ntt(vec, omega, Q), omega, Q) == vec
+
+    def test_power_of_two_required(self):
+        omega = root_of_unity(Q, 8)
+        with pytest.raises(ValueError):
+            ntt([1, 2, 3], omega, Q)
+
+    def test_ntt_of_delta_is_constant(self):
+        omega = root_of_unity(Q, 8)
+        assert ntt([1, 0, 0, 0, 0, 0, 0, 0], omega, Q) == [1] * 8
+
+
+class TestPolyMul:
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=1, max_size=12),
+        b=st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=1, max_size=12),
+    )
+    def test_matches_schoolbook(self, a, b):
+        assert poly_mul_ntt(a, b, Q) == poly_mul_schoolbook(a, b, Q)
+
+    def test_empty(self):
+        assert poly_mul_ntt([], [1, 2], Q) == []
+        assert poly_mul_schoolbook([1], [], Q) == []
+
+    def test_fallback_when_no_root(self):
+        # q=7: q-1=6 has no large power-of-two factor; falls back silently
+        assert poly_mul_ntt([1, 2, 3], [4, 5], 7) == poly_mul_schoolbook(
+            [1, 2, 3], [4, 5], 7
+        )
+
+    def test_omega_cache_used(self):
+        cache = {}
+        poly_mul_ntt([1, 2, 3, 4], [5, 6, 7, 8], Q, cache)
+        assert cache
+        # cached call must agree
+        assert poly_mul_ntt([1, 2, 3, 4], [5, 6, 7, 8], Q, cache) == \
+            poly_mul_schoolbook([1, 2, 3, 4], [5, 6, 7, 8], Q)

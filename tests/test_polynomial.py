@@ -1,0 +1,121 @@
+"""Polynomial arithmetic and the Horner batch combination."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fields import GF2k
+from repro.poly import Polynomial, horner_batch
+
+F = GF2k(8)
+coeff_lists = st.lists(st.integers(min_value=0, max_value=255), max_size=6)
+
+
+def poly(coeffs):
+    return Polynomial(F, coeffs)
+
+
+class TestBasics:
+    def test_trim_and_degree(self):
+        assert poly([1, 2, 0, 0]).degree == 1
+        assert poly([]).degree == -1
+        assert poly([0]).degree == -1
+        assert Polynomial.zero(F).is_zero()
+        assert Polynomial.constant(F, 7).degree == 0
+
+    def test_coefficient_access(self):
+        p = poly([3, 0, 5])
+        assert p.coefficient(0) == 3
+        assert p.coefficient(2) == 5
+        assert p.coefficient(99) == 0
+
+    def test_random_with_fixed_constant(self, rng):
+        p = Polynomial.random(F, 4, rng, constant=42)
+        assert p(F.zero) == 42
+        assert p.degree <= 4
+
+    def test_evaluation_horner_matches_powers(self, rng):
+        p = Polynomial.random(F, 5, rng)
+        for x in [0, 1, 77, 255]:
+            direct = F.zero
+            for i, c in enumerate(p.coeffs):
+                direct = F.add(direct, F.mul(c, F.pow(x, i)))
+            assert p(x) == direct
+
+
+class TestArithmetic:
+    @given(a=coeff_lists, b=coeff_lists)
+    def test_add_pointwise(self, a, b):
+        pa, pb = poly(a), poly(b)
+        s = pa + pb
+        for x in range(0, 256, 37):
+            assert s(x) == F.add(pa(x), pb(x))
+
+    @given(a=coeff_lists, b=coeff_lists)
+    def test_mul_pointwise(self, a, b):
+        pa, pb = poly(a), poly(b)
+        m = pa * pb
+        for x in range(0, 256, 37):
+            assert m(x) == F.mul(pa(x), pb(x))
+
+    @given(a=coeff_lists)
+    def test_sub_self_is_zero(self, a):
+        assert (poly(a) - poly(a)).is_zero()
+
+    @given(a=coeff_lists, s=st.integers(min_value=0, max_value=255))
+    def test_scale(self, a, s):
+        pa = poly(a)
+        scaled = pa.scale(s)
+        for x in range(0, 256, 51):
+            assert scaled(x) == F.mul(s, pa(x))
+
+    @given(a=coeff_lists, b=coeff_lists)
+    def test_divmod_invariant(self, a, b):
+        pa, pb = poly(a), poly(b)
+        if pb.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                pa.divmod(pb)
+            return
+        q, r = pa.divmod(pb)
+        assert q * pb + r == pa
+        assert r.degree < pb.degree or r.is_zero()
+
+    def test_degree_bounds(self):
+        a, b = poly([1, 2, 3]), poly([4, 5])
+        assert (a * b).degree == a.degree + b.degree
+        assert (a + b).degree == 2
+
+    def test_leading_cancellation(self):
+        a, b = poly([1, 2, 3]), poly([9, 9, 3])
+        assert (a - b).degree <= 1
+
+    def test_eq_hash(self):
+        assert poly([1, 2]) == poly([1, 2, 0])
+        assert hash(poly([1, 2])) == hash(poly([1, 2, 0]))
+        assert poly([1, 2]) != poly([2, 1])
+
+
+class TestHornerBatch:
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=255), max_size=8),
+        r=st.integers(min_value=0, max_value=255),
+    )
+    def test_matches_power_sum(self, values, r):
+        """horner_batch == sum_j r^j * values[j-1] (Fig. 3 step 2)."""
+        expected = F.zero
+        for j, v in enumerate(values, start=1):
+            expected = F.add(expected, F.mul(F.pow(r, j), v))
+        assert horner_batch(F, values, r) == expected
+
+    def test_empty(self):
+        assert horner_batch(F, [], 5) == F.zero
+
+    def test_multiplication_count(self):
+        """Exactly M multiplications (the count behind Lemma 4)."""
+        values = [7] * 12
+        before = F.counter.snapshot()
+        horner_batch(F, values, 3)
+        delta = F.counter.delta(before)
+        assert delta.muls == 12
+        assert delta.adds == 11

@@ -1,0 +1,103 @@
+"""The benchmark-results report generator."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import (
+    EXPERIMENT_TITLES,
+    extract_series,
+    load_results,
+    render,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestExtraction:
+    def test_extract_series(self):
+        lines = [
+            "M=1: bits/secret=  1792.0, x",
+            "M=4: bits/secret=   448.0, x",
+            "noise line",
+        ]
+        assert extract_series(lines, r"bits/secret=\s*([\d,.]+)") == [
+            1792.0,
+            448.0,
+        ]
+
+    def test_commas_stripped(self):
+        assert extract_series(
+            ["bits/coin=33,084, z"], r"bits/coin=([\d,]+)"
+        ) == [33084.0]
+
+
+class TestLoadAndRender:
+    def test_missing_dir(self, tmp_path):
+        assert load_results(tmp_path / "nope") == {}
+        text = render({})
+        assert "No benchmark artifacts" in text
+
+    def test_round_trip(self, tmp_path):
+        results_dir = tmp_path / "results"
+        results_dir.mkdir()
+        (results_dir / "batch_vss.txt").write_text(
+            "# experiment batch_vss\n"
+            "M=   1: bits/secret=    1792.0\n"
+            "M=   4: bits/secret=     448.0\n"
+            "M=  16: bits/secret=     112.0\n"
+        )
+        (results_dir / "custom_thing.txt").write_text("# x\nrow one\n")
+        results = load_results(results_dir)
+        assert set(results) == {"batch_vss", "custom_thing"}
+        text = render(results)
+        assert EXPERIMENT_TITLES["batch_vss"] in text
+        assert "1/M decay" in text
+        assert "custom_thing" in text
+
+    def test_real_results_if_present(self):
+        results_dir = (
+            pathlib.Path(__file__).parents[1] / "benchmarks" / "results"
+        )
+        results = load_results(results_dir)
+        if not results:
+            pytest.skip("no benchmark artifacts in this checkout")
+        text = render(results)
+        assert "# Measured results" in text
+        assert len(text.splitlines()) > 20
+
+
+class TestDeterminism:
+    """Reproducibility guarantee: equal seeds, equal everything."""
+
+    def test_bootstrap_streams_identical(self):
+        from repro.core import BootstrapCoinSource
+        from repro.fields import GF2k
+
+        a = BootstrapCoinSource(GF2k(32), 7, 1, batch_size=8, seed=99)
+        b = BootstrapCoinSource(GF2k(32), 7, 1, batch_size=8, seed=99)
+        assert a.tosses(96) == b.tosses(96)
+
+    def test_coin_gen_outputs_identical(self):
+        from repro.fields import GF2k
+        from repro.protocols.coin_gen import run_coin_gen
+
+        out1, m1 = run_coin_gen(GF2k(32), 7, 1, M=3, seed=123)
+        out2, m2 = run_coin_gen(GF2k(32), 7, 1, M=3, seed=123)
+        assert out1[1].clique == out2[1].clique
+        assert [c.my_value for c in out1[4].coins] == [
+            c.my_value for c in out2[4].coins
+        ]
+        assert m1.bits == m2.bits

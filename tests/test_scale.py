@@ -1,0 +1,43 @@
+"""Scalability smoke: the pipeline at larger committee sizes.
+
+Uses the table-accelerated GF(2^16) field so the n=19 run (19 parallel
+Berlekamp-Welch decodes per player) stays fast.
+"""
+
+import pytest
+
+from repro.fields import GF2k
+from repro.net.adversary import silent_program
+from repro.protocols.coin_gen import expose_coin, run_coin_gen
+
+FAST = GF2k(16)  # log/exp tables
+
+
+class TestLargerCommittees:
+    @pytest.mark.parametrize("n,t", [(13, 2), (19, 3)])
+    def test_coin_gen_scales(self, n, t):
+        outputs, metrics = run_coin_gen(FAST, n, t, M=2, seed=7)
+        assert all(o.success for o in outputs.values())
+        assert len({o.clique for o in outputs.values()}) == 1
+        assert len(outputs[1].clique) >= n - 2 * t
+        values, _ = expose_coin(FAST, n, outputs, 0, t)
+        assert len(set(values.values())) == 1
+
+    def test_n19_with_t_faults(self):
+        n, t = 19, 3
+        faulty = {5: silent_program(), 11: silent_program(), 17: silent_program()}
+        outputs, _ = run_coin_gen(
+            FAST, n, t, M=2, seed=8, faulty_programs=faulty
+        )
+        honest = {pid: o for pid, o in outputs.items() if pid not in faulty}
+        assert all(o.success for o in honest.values())
+        values, _ = expose_coin(FAST, n, honest, 1, t)
+        vs = {v for pid, v in values.items() if pid not in faulty}
+        assert len(vs) == 1 and None not in vs
+
+    def test_interpolations_follow_n(self):
+        """Theorem 2's n+1 (+iterations) at both sizes."""
+        for n, t in ((13, 2), (19, 3)):
+            outputs, metrics = run_coin_gen(FAST, n, t, M=1, seed=9)
+            iters = outputs[1].iterations
+            assert metrics.ops(2).interpolations == n + 1 + iters

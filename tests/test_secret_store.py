@@ -1,0 +1,78 @@
+"""The verified secret store (Batch-VSS as a service)."""
+
+import pytest
+
+from repro.fields import GF2k
+from repro.core.secret_store import DepositRejected, VerifiedSecretStore
+
+F = GF2k(32)
+N, T = 7, 2
+
+
+class TestDepositAndOpen:
+    def test_round_trip(self):
+        store = VerifiedSecretStore(F, N, T, seed=1)
+        secrets = [11, 22, 33, 44]
+        ids = store.deposit(secrets)
+        assert len(ids) == 4
+        for secret_id, secret in zip(ids, secrets):
+            assert store.open(secret_id) == secret
+
+    def test_multiple_batches(self):
+        store = VerifiedSecretStore(F, N, T, seed=2)
+        first = store.deposit([1, 2])
+        second = store.deposit([3])
+        assert len(store) == 3
+        assert store.open(first[1]) == 2
+        assert store.open(second[0]) == 3
+
+    def test_open_out_of_order(self):
+        store = VerifiedSecretStore(F, N, T, seed=3)
+        ids = store.deposit(list(range(100, 110)))
+        assert store.open(ids[7]) == 107
+        assert store.open(ids[0]) == 100
+
+    def test_contains(self):
+        store = VerifiedSecretStore(F, N, T, seed=4)
+        (only,) = store.deposit([5])
+        assert only in store
+        assert "nope" not in store
+
+    def test_unknown_id(self):
+        store = VerifiedSecretStore(F, N, T, seed=5)
+        with pytest.raises(KeyError):
+            store.open("secret-9-9")
+
+
+class TestVerification:
+    def test_cheating_deposit_rejected_atomically(self):
+        store = VerifiedSecretStore(F, N, T, seed=6)
+        with pytest.raises(DepositRejected):
+            store.deposit(
+                [10, 20, 30],
+                cheat_offsets={1: {4: 12345}},
+            )
+        assert len(store) == 0  # all-or-nothing
+
+    def test_good_batch_after_rejected_batch(self):
+        store = VerifiedSecretStore(F, N, T, seed=7)
+        with pytest.raises(DepositRejected):
+            store.deposit([1], cheat_offsets={0: {2: 9}})
+        ids = store.deposit([42])
+        assert store.open(ids[0]) == 42
+
+    def test_amortized_verification_cost_falls(self):
+        """Corollary 1 through the API: interpolations per stored secret
+        shrink as batches grow."""
+        small = VerifiedSecretStore(F, N, T, seed=8)
+        small.deposit([1])
+        big = VerifiedSecretStore(F, N, T, seed=9)
+        big.deposit(list(range(64)))
+        assert big.amortized_verification_cost() < small.amortized_verification_cost()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            VerifiedSecretStore(F, 6, 2)
+
+    def test_empty_store_cost(self):
+        assert VerifiedSecretStore(F, N, T).amortized_verification_cost() == 0.0

@@ -1,0 +1,85 @@
+"""Random access to sealed coins (Section 1.4's 'random access')."""
+
+import pytest
+
+from repro.fields import GF2k
+from repro.core.dprbg import SharedCoinSystem
+from repro.core.seed import TrustedDealer
+from repro.core.sequence import CoinSequence
+
+F = GF2k(16)
+N, T = 7, 1
+
+
+def make_sequence(seed=0, M=6):
+    system = SharedCoinSystem(F, N, T, seed=seed)
+    dealer = TrustedDealer(F, N, T, seed=seed + 1)
+    result = system.generate(dealer.deal_seed(4), M=M)
+    return CoinSequence(system, result.coins)
+
+
+class TestRandomAccess:
+    def test_out_of_order_access(self):
+        seq = make_sequence(seed=1)
+        late = seq[5]
+        early = seq[0]
+        middle = seq[3]
+        assert len({late, early, middle}) == 3
+
+    def test_access_order_does_not_change_values(self):
+        forward = make_sequence(seed=2)
+        backward = make_sequence(seed=2)
+        values_fwd = [forward[i] for i in range(6)]
+        values_bwd = [backward[i] for i in reversed(range(6))]
+        assert values_fwd == list(reversed(values_bwd))
+
+    def test_lazy_exposure(self):
+        seq = make_sequence(seed=3)
+        assert not seq.exposed(2)
+        seq[2]
+        assert seq.exposed(2)
+        assert not seq.exposed(0)
+
+    def test_caching_single_expose(self):
+        seq = make_sequence(seed=4)
+        runs_before = seq.system.runs
+        metrics_before = seq.system.total_metrics.unicast_messages
+        first = seq[1]
+        after_one = seq.system.total_metrics.unicast_messages
+        second = seq[1]
+        assert first == second
+        assert seq.system.total_metrics.unicast_messages == after_one
+
+    def test_negative_index(self):
+        seq = make_sequence(seed=5)
+        assert seq[-1] == seq[5]
+
+    def test_index_bounds(self):
+        seq = make_sequence(seed=6)
+        with pytest.raises(IndexError):
+            seq[6]
+        with pytest.raises(IndexError):
+            seq.bit(seq.bit_length)
+
+
+class TestBitAccess:
+    def test_bit_length(self):
+        seq = make_sequence(seed=7, M=4)
+        assert seq.bit_length == 4 * 16
+        assert len(seq) == 4
+
+    def test_bit_matches_element(self):
+        seq = make_sequence(seed=8)
+        element = seq[2]
+        value = F.to_int(element)
+        k = F.bit_length
+        for b in range(k):
+            assert seq.bit(2 * k + b) == (value >> b) & 1
+
+    def test_bits_slice_exposes_only_needed_coins(self):
+        seq = make_sequence(seed=9, M=6)
+        k = F.bit_length
+        seq.bits(k, 2 * k)  # exactly coin 1
+        assert seq.exposed(1)
+        assert not seq.exposed(0)
+        assert not seq.exposed(2)

@@ -1,0 +1,79 @@
+"""The coin-quality statistics battery."""
+
+import random
+
+from repro.analysis.stats import (
+    all_passed,
+    battery,
+    bias,
+    chi_square_bytes,
+    longest_run,
+    monobit,
+    serial_correlation,
+)
+
+
+def good_bits(n=4000, seed=0):
+    rng = random.Random(seed)
+    return [rng.randrange(2) for _ in range(n)]
+
+
+class TestOnGoodRandomness:
+    def test_battery_passes(self):
+        assert all_passed(good_bits())
+
+    def test_individual_tests(self):
+        bits = good_bits(seed=1)
+        assert monobit(bits).passed
+        assert serial_correlation(bits).passed
+        assert longest_run(bits).passed
+        assert chi_square_bytes(bits).passed
+
+
+class TestOnBadRandomness:
+    def test_constant_fails_monobit(self):
+        assert not monobit([1] * 1000).passed
+
+    def test_alternating_fails_serial(self):
+        bits = [i % 2 for i in range(1000)]
+        assert not serial_correlation(bits).passed
+
+    def test_biased_fails(self):
+        rng = random.Random(2)
+        bits = [1 if rng.random() < 0.7 else 0 for _ in range(2000)]
+        assert not monobit(bits).passed
+
+    def test_long_runs_fail(self):
+        bits = good_bits(1000, seed=3)
+        bits[100:160] = [1] * 60
+        assert not longest_run(bits).passed
+
+    def test_nibble_skew_fails_chi2(self):
+        # only even nibbles -> wildly non-uniform
+        bits = []
+        rng = random.Random(4)
+        for _ in range(500):
+            v = rng.randrange(8) * 2
+            bits.extend([(v >> i) & 1 for i in range(4)])
+        assert not chi_square_bytes(bits).passed
+
+
+class TestEdgeCases:
+    def test_empty_stream(self):
+        assert monobit([]).passed
+        assert serial_correlation([0]).passed
+        assert longest_run([]).passed
+        assert chi_square_bytes([1, 0]).passed
+        assert bias([]) == 0.0
+
+    def test_bias_value(self):
+        assert bias([1, 1, 1, 1]) == 0.5
+        assert bias([0, 1, 0, 1]) == 0.0
+
+    def test_battery_keys(self):
+        assert set(battery(good_bits(200))) == {
+            "monobit",
+            "serial",
+            "longest_run",
+            "chi2_nibbles",
+        }

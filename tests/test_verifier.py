@@ -1,0 +1,56 @@
+"""The automated claims verifier."""
+
+import pytest
+
+from repro.analysis.verifier import (
+    Check,
+    report,
+    verify_all,
+    verify_batch_vss,
+    verify_bit_gen,
+    verify_coin_gen,
+    verify_vss,
+)
+from repro.fields import GF2k
+
+F = GF2k(32)
+
+
+class TestCheck:
+    def test_exact_pass_fail(self):
+        assert Check("x", 2, 2).passed
+        assert not Check("x", 2, 3).passed
+
+    def test_tolerance(self):
+        assert Check("x", 100, 300, tolerance=10.0).passed
+        assert not Check("x", 100, 2000, tolerance=10.0).passed
+        assert Check("x", 100, 15, tolerance=10.0).passed
+
+    def test_row_format(self):
+        assert "FAIL" in Check("claim", 1, 2).row()
+        assert "ok" in Check("claim", 1, 1).row()
+
+
+class TestVerifiers:
+    def test_vss_claims_hold(self):
+        assert all(c.passed for c in verify_vss(F, 7, 2, seed=1))
+
+    def test_batch_vss_claims_hold(self):
+        assert all(c.passed for c in verify_batch_vss(F, 7, 2, M=8, seed=2))
+
+    def test_bit_gen_claims_hold(self):
+        assert all(c.passed for c in verify_bit_gen(F, 7, 1, M=8, seed=3))
+
+    def test_coin_gen_claims_hold(self):
+        assert all(c.passed for c in verify_coin_gen(F, 7, 1, M=8, seed=4))
+
+    def test_verify_all_and_report(self):
+        checks = verify_all(F, n=7, t=1, M=8, seed=5)
+        assert len(checks) >= 10
+        text = report(checks)
+        assert "claims verified" in text
+        assert all(c.passed for c in checks), text
+
+    def test_verify_all_other_system_size(self):
+        checks = verify_all(F, n=13, t=2, M=4, seed=6)
+        assert all(c.passed for c in checks), report(checks)
