@@ -60,6 +60,7 @@ def test_amortized_communication_constant(report, benchmark):
 def test_computation_linear_in_m(report, benchmark):
     """Lemma 4's 2Mk log k: player multiplications grow by exactly one
     Horner step per extra secret."""
+    run_batch_vss(FIELD, N, T, M=16, seed=10)  # warm interpolation caches
     _, m16 = run_batch_vss(FIELD, N, T, M=16, seed=10)
     _, m64 = run_batch_vss(FIELD, N, T, M=64, seed=10)
     delta = m64.max_player_ops().muls - m16.max_player_ops().muls

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Machine-readable core benchmarks -> BENCH_core.json.
+
+Runs the coin-generation, batch-VSS, coin-exposure, and field-arithmetic
+benches and writes wall-clock + ops/sec per configuration, so the perf
+trajectory of the hot path is tracked in one diffable artifact.
+
+Each interpolation-heavy bench runs in three cache modes (see
+``repro.poly.barycentric``):
+
+* ``off``    — classic Lagrange / full Berlekamp-Welch (the baseline);
+* ``fresh``  — Montgomery batch inversion but no cross-call reuse
+  (isolates the batch-inversion speedup);
+* ``shared`` — the full barycentric weight cache (adds cross-call reuse).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench_json.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks every configuration for CI (a correctness/regression
+smoke, not a rigorous measurement).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fields import GF2k  # noqa: E402
+from repro.poly.barycentric import interpolation_mode  # noqa: E402
+from repro.protocols.batch_vss import run_batch_vss  # noqa: E402
+from repro.protocols.coin_gen import expose_coin, run_coin_gen  # noqa: E402
+
+MODES = ("off", "fresh", "shared")
+
+
+def timed(fn, repeats=1):
+    """Best-of-``repeats`` wall-clock seconds and the last return value."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_field_arithmetic(results, smoke):
+    """ops/sec for scalar and bulk field primitives."""
+    import random
+
+    count = 512 if smoke else 4096
+    for label, field in (("gf2k16_tables", GF2k(16)), ("gf2k32_clmul", GF2k(32))):
+        rng = random.Random(1)
+        a = [field.random_nonzero(rng) for _ in range(count)]
+        b = [field.random_nonzero(rng) for _ in range(count)]
+
+        cases = {
+            "mul_scalar": lambda: [field.mul(x, y) for x, y in zip(a, b)],
+            "mul_many": lambda: field.mul_many(a, b),
+            "inv_scalar": lambda: [field.inv(x) for x in a],
+            "batch_inv": lambda: field.batch_inv(a),
+            "dot": lambda: field.dot(a, b),
+        }
+        for op, fn in cases.items():
+            wall, _ = timed(fn, repeats=3)
+            results.append(
+                {
+                    "bench": "field_arithmetic",
+                    "field": label,
+                    "op": op,
+                    "elements": count,
+                    "wall_s": wall,
+                    "ops_per_s": count / wall if wall > 0 else None,
+                }
+            )
+
+
+def bench_batch_vss(results, smoke):
+    n, t = 7, 2
+    M = 16 if smoke else 64
+    field = GF2k(32)
+    for mode in MODES:
+        with interpolation_mode(mode):
+            run_batch_vss(field, n, t, M=M, seed=3)  # warm-up / JIT caches
+            wall, (out, _) = timed(
+                lambda: run_batch_vss(field, n, t, M=M, seed=3),
+                repeats=1 if smoke else 3,
+            )
+        assert all(r.accepted for r in out.values())
+        results.append(
+            {
+                "bench": "batch_vss",
+                "n": n,
+                "t": t,
+                "M": M,
+                "mode": mode,
+                "wall_s": wall,
+                "ops_per_s": M / wall if wall > 0 else None,
+            }
+        )
+
+
+def bench_coin_gen(results, smoke):
+    configs = [(7, 1, 8)] if smoke else [(7, 1, 16), (13, 2, 64)]
+    field = GF2k(32)
+    for n, t, M in configs:
+        for mode in MODES:
+            with interpolation_mode(mode):
+                wall, (out, _) = timed(
+                    lambda: run_coin_gen(field, n, t, M=M, seed=5)
+                )
+            assert all(o.success for o in out.values())
+            results.append(
+                {
+                    "bench": "coin_gen",
+                    "n": n,
+                    "t": t,
+                    "M": M,
+                    "mode": mode,
+                    "wall_s": wall,
+                    "ops_per_s": M / wall if wall > 0 else None,
+                }
+            )
+
+
+def bench_coin_expose(results, smoke):
+    """The acceptance bench: expose M coins over one fixed qualified set."""
+    n, t, M = (7, 1, 8) if smoke else (13, 2, 64)
+    field = GF2k(32)
+    outputs, _ = run_coin_gen(field, n, t, M=M, seed=7)
+    assert all(o.success for o in outputs.values())
+
+    def expose_all():
+        for h in range(M):
+            values, _ = expose_coin(field, n, outputs, h, t)
+            assert len(set(values.values())) == 1
+            assert None not in values.values()
+
+    for mode in MODES:
+        with interpolation_mode(mode):
+            expose_all()  # warm-up (pre-builds caches in "shared" mode)
+            wall, _ = timed(expose_all)
+        results.append(
+            {
+                "bench": "coin_expose",
+                "n": n,
+                "t": t,
+                "M": M,
+                "mode": mode,
+                "wall_s": wall,
+                "ops_per_s": M / wall if wall > 0 else None,
+            }
+        )
+
+
+def speedups(results):
+    """mode=off wall-clock divided by fresh/shared, per (bench, config)."""
+    table = {}
+    for row in results:
+        if "mode" not in row:
+            continue
+        key = (row["bench"], row.get("n"), row.get("t"), row.get("M"))
+        table.setdefault(key, {})[row["mode"]] = row["wall_s"]
+    out = {}
+    for (bench, n, t, M), modes in table.items():
+        if "off" not in modes:
+            continue
+        label = f"{bench}_n{n}_t{t}_M{M}"
+        for mode in ("fresh", "shared"):
+            if mode in modes and modes[mode] > 0:
+                out[f"{label}_{mode}_vs_off"] = round(
+                    modes["off"] / modes[mode], 2
+                )
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configurations for CI")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <repo>/BENCH_core.json)")
+    args = parser.parse_args(argv)
+
+    out_path = pathlib.Path(
+        args.out
+        if args.out
+        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_core.json"
+    )
+
+    results = []
+    bench_field_arithmetic(results, args.smoke)
+    bench_batch_vss(results, args.smoke)
+    bench_coin_gen(results, args.smoke)
+    bench_coin_expose(results, args.smoke)
+
+    payload = {
+        "generated_by": "benchmarks/emit_bench_json.py",
+        "smoke": args.smoke,
+        "python": sys.version.split()[0],
+        "modes": {
+            "off": "classic Lagrange + full Berlekamp-Welch (baseline)",
+            "fresh": "Montgomery batch inversion, no cross-call cache",
+            "shared": "batch inversion + cached barycentric weights",
+        },
+        "results": results,
+        "speedups": speedups(results),
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {out_path}")
+    for key, factor in payload["speedups"].items():
+        print(f"  {key}: {factor}x")
+    expose_key = [k for k in payload["speedups"] if k.startswith("coin_expose")
+                  and k.endswith("shared_vs_off")]
+    if expose_key and not args.smoke:
+        factor = payload["speedups"][expose_key[0]]
+        status = "OK" if factor >= 2.0 else "BELOW TARGET"
+        print(f"coin exposure cached-vs-uncached: {factor}x ({status}, target >= 2x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

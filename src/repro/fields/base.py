@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field as dataclass_field
-from typing import Any, Iterator, List
+from typing import Any, Iterator, List, Sequence
 
 Element = Any  # representation is field-specific (int or tuple of ints)
 
@@ -130,6 +130,70 @@ class Field(ABC):
             base = self.mul(base, base)
             e >>= 1
         return result
+
+    # -- bulk operations ---------------------------------------------------
+    #
+    # The protocol hot paths (interpolation caches, shared-Horner dealing)
+    # work on whole vectors of elements at a time.  The base versions below
+    # delegate to the scalar methods; concrete fields override them with
+    # vectorized loops that touch the counter once per batch.  Either way
+    # the *totals* are identical to performing the operations one by one —
+    # except ``batch_inv``, which genuinely replaces n inversions with one
+    # inversion plus 3(n-1) multiplications (Montgomery's trick) and meters
+    # exactly what it performs.
+
+    def mul_many(
+        self, avec: Sequence[Element], bvec: Sequence[Element]
+    ) -> List[Element]:
+        """Elementwise products ``[a*b for a, b in zip(avec, bvec)]``."""
+        if len(avec) != len(bvec):
+            raise ValueError("mul_many requires equal-length vectors")
+        return [self.mul(a, b) for a, b in zip(avec, bvec)]
+
+    def dot(self, avec: Sequence[Element], bvec: Sequence[Element]) -> Element:
+        """Inner product ``sum_i avec[i] * bvec[i]`` (zero for empty input)."""
+        if len(avec) != len(bvec):
+            raise ValueError("dot requires equal-length vectors")
+        total = self.zero
+        first = True
+        for a, b in zip(avec, bvec):
+            p = self.mul(a, b)
+            total = p if first else self.add(total, p)
+            first = False
+        return total
+
+    def axpy_many(
+        self, acc: Sequence[Element], xs: Sequence[Element], c: Element
+    ) -> List[Element]:
+        """One shared Horner step: ``[a*x + c for a, x in zip(acc, xs)]``."""
+        if len(acc) != len(xs):
+            raise ValueError("axpy_many requires equal-length vectors")
+        return [self.add(self.mul(a, x), c) for a, x in zip(acc, xs)]
+
+    def batch_inv(self, vec: Sequence[Element]) -> List[Element]:
+        """All inverses of ``vec`` via Montgomery's trick.
+
+        One :meth:`inv` plus ``3(len(vec)-1)`` multiplications, however
+        long the vector — the workhorse behind the interpolation cache's
+        one-time weight build.  Raises ``ZeroDivisionError`` if any
+        element is zero.
+        """
+        n = len(vec)
+        if n == 0:
+            return []
+        for v in vec:
+            if v == self.zero:
+                raise ZeroDivisionError("batch_inv of a vector containing zero")
+        prefix = [vec[0]]
+        for v in vec[1:]:
+            prefix.append(self.mul(prefix[-1], v))
+        acc = self.inv(prefix[-1])
+        out: List[Element] = [self.zero] * n
+        for i in range(n - 1, 0, -1):
+            out[i] = self.mul(acc, prefix[i - 1])
+            acc = self.mul(acc, vec[i])
+        out[0] = acc
+        return out
 
     # -- conversions ------------------------------------------------------
     @abstractmethod

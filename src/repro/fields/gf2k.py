@@ -198,6 +198,86 @@ class GF2k(Field):
         # a^(2^k - 2) = a^(-1)
         return self._raw_pow(a, self.order - 2)
 
+    # -- bulk operations (vectorized; one counter bump per batch) -----------
+    def _mul0(self, a: int, b: int) -> int:
+        """Unmetered zero-safe product (bulk-op building block)."""
+        if a == 0 or b == 0:
+            return 0
+        if self._exp is not None:
+            return self._exp[self._log[a] + self._log[b]]
+        return self._raw_mul(a, b)
+
+    def mul_many(self, avec, bvec):
+        n = len(avec)
+        if n != len(bvec):
+            raise ValueError("mul_many requires equal-length vectors")
+        self.counter.muls += n
+        exp, log = self._exp, self._log
+        if exp is not None:
+            return [exp[log[a] + log[b]] if a and b else 0
+                    for a, b in zip(avec, bvec)]
+        raw = self._raw_mul
+        return [raw(a, b) if a and b else 0 for a, b in zip(avec, bvec)]
+
+    def dot(self, avec, bvec):
+        n = len(avec)
+        if n != len(bvec):
+            raise ValueError("dot requires equal-length vectors")
+        if n == 0:
+            return 0
+        self.counter.muls += n
+        self.counter.adds += n - 1
+        acc = 0
+        exp, log = self._exp, self._log
+        if exp is not None:
+            for a, b in zip(avec, bvec):
+                if a and b:
+                    acc ^= exp[log[a] + log[b]]
+        else:
+            raw = self._raw_mul
+            for a, b in zip(avec, bvec):
+                if a and b:
+                    acc ^= raw(a, b)
+        return acc
+
+    def axpy_many(self, acc, xs, c):
+        n = len(acc)
+        if n != len(xs):
+            raise ValueError("axpy_many requires equal-length vectors")
+        self.counter.muls += n
+        self.counter.adds += n
+        exp, log = self._exp, self._log
+        if exp is not None:
+            return [(exp[log[a] + log[x]] if a and x else 0) ^ c
+                    for a, x in zip(acc, xs)]
+        raw = self._raw_mul
+        return [(raw(a, x) if a and x else 0) ^ c for a, x in zip(acc, xs)]
+
+    def batch_inv(self, vec):
+        n = len(vec)
+        if n == 0:
+            return []
+        if 0 in vec:
+            raise ZeroDivisionError("batch_inv of a vector containing zero")
+        self.counter.invs += 1
+        self.counter.muls += 3 * (n - 1)
+        mul = self._mul0
+        prefix = [vec[0]]
+        for v in vec[1:]:
+            prefix.append(mul(prefix[-1], v))
+        total = prefix[-1]
+        if self._exp is not None:
+            group_order = self.order - 1
+            acc = self._exp[(group_order - self._log[total]) % group_order]
+        else:
+            acc = self._raw_pow(total, self.order - 2)
+        out = [0] * n
+        for i in range(n - 1, 0, -1):
+            out[i] = mul(acc, prefix[i - 1])
+            acc = mul(acc, vec[i])
+        out[0] = acc
+        return out
+
     def from_int(self, value: int) -> int:
         if not 0 <= value < self.order:
             raise ValueError(f"{value} out of range for GF(2^{self.k})")

@@ -51,6 +51,55 @@ class GFp(Field):
         self.counter.invs += 1
         return pow(a, self.p - 2, self.p)
 
+    # -- bulk operations (vectorized; one counter bump per batch) -----------
+    def mul_many(self, avec, bvec):
+        n = len(avec)
+        if n != len(bvec):
+            raise ValueError("mul_many requires equal-length vectors")
+        self.counter.muls += n
+        p = self.p
+        return [a * b % p for a, b in zip(avec, bvec)]
+
+    def dot(self, avec, bvec):
+        n = len(avec)
+        if n != len(bvec):
+            raise ValueError("dot requires equal-length vectors")
+        if n == 0:
+            return 0
+        self.counter.muls += n
+        self.counter.adds += n - 1
+        # accumulate in the integers, one reduction at the end
+        return sum(a * b for a, b in zip(avec, bvec)) % self.p
+
+    def axpy_many(self, acc, xs, c):
+        n = len(acc)
+        if n != len(xs):
+            raise ValueError("axpy_many requires equal-length vectors")
+        self.counter.muls += n
+        self.counter.adds += n
+        p = self.p
+        return [(a * x + c) % p for a, x in zip(acc, xs)]
+
+    def batch_inv(self, vec):
+        n = len(vec)
+        if n == 0:
+            return []
+        if 0 in vec:
+            raise ZeroDivisionError("batch_inv of a vector containing zero")
+        self.counter.invs += 1
+        self.counter.muls += 3 * (n - 1)
+        p = self.p
+        prefix = [vec[0]]
+        for v in vec[1:]:
+            prefix.append(prefix[-1] * v % p)
+        acc = pow(prefix[-1], p - 2, p)
+        out = [0] * n
+        for i in range(n - 1, 0, -1):
+            out[i] = acc * prefix[i - 1] % p
+            acc = acc * vec[i] % p
+        out[0] = acc
+        return out
+
     def from_int(self, value: int) -> int:
         if not 0 <= value < self.p:
             raise ValueError(f"{value} out of range for GF({self.p})")

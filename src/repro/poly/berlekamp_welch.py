@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.fields.base import Element, Field
+from repro.poly import barycentric
+from repro.poly.lagrange import _require_distinct
 from repro.poly.linalg import solve_linear_system
 from repro.poly.polynomial import Polynomial
 
@@ -52,14 +54,30 @@ def berlekamp_welch(
     points = list(points)
     n = len(points)
     xs = [x for x, _ in points]
-    if len(set(xs)) != n:
-        raise ValueError("decoding points must have distinct x coordinates")
+    _require_distinct(xs)
     if n < degree + 1:
         raise DecodingError(f"need at least {degree + 1} points, got {n}")
     if max_errors is None:
         max_errors = max_correctable_errors(n, degree)
     max_errors = min(max_errors, max_correctable_errors(n, degree))
     field.counter.interpolations += 1
+
+    # Optimistic fast path: interpolate through the first degree+1 points
+    # (a cached, inversion-free barycentric build) and accept if enough of
+    # the remaining points agree.  Any degree-<=degree polynomial matching
+    # >= n - max_errors points is unique (two candidates would agree on
+    # >= n - 2*max_errors >= degree + 1 common points), so when this
+    # succeeds it returns exactly what the key-equation solve below would
+    # — without the O(n^3) linear system.  Corrupted head points simply
+    # fail the match count and fall through to the full decoder.
+    if barycentric.cache_mode() != "off":
+        candidate = barycentric.cache_for(field).polynomial(
+            points[: degree + 1]
+        )
+        values = candidate.evaluate_many(xs)
+        good = [i for i, (v, (_, y)) in enumerate(zip(values, points)) if v == y]
+        if len(good) >= n - max_errors:
+            return candidate, good
 
     for e in range(max_errors, -1, -1):
         candidate = _try_decode(field, points, degree, e)

@@ -5,6 +5,13 @@ and to compute the unique polynomial f(x) that they define (using, say,
 the Lagrange method).  For the remaining points simply check whether they
 satisfy f."  :func:`interpolate` builds the polynomial, and
 :func:`check_degree` performs exactly that degree test.
+
+These are the *classic* textbook implementations: O(n^2) work and one
+inversion per basis polynomial.  The hot protocol paths route through
+:mod:`repro.poly.barycentric` instead, which precomputes barycentric
+weights per point set (Montgomery batch inversion) and answers repeated
+queries with zero inversions; the classic versions stay as the reference
+the property tests compare against.
 """
 
 from __future__ import annotations
@@ -17,15 +24,24 @@ from repro.poly.polynomial import Polynomial
 Point = Tuple[Element, Element]
 
 
+def _require_distinct(xs: Sequence[Element]) -> None:
+    """Raise ``ValueError`` unless every x-coordinate is distinct.
+
+    Shared by :func:`interpolate`, :func:`interpolate_at`, the
+    Berlekamp-Welch decoder, and :mod:`repro.poly.barycentric` — the
+    single place the duplicate-abscissa precondition is enforced.
+    """
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must have distinct x coordinates")
+
+
 def interpolate(field: Field, points: Sequence[Point]) -> Polynomial:
     """The unique polynomial of degree < len(points) through ``points``.
 
     Raises ``ValueError`` on duplicated x-coordinates.  Increments the
     field's interpolation counter (the unit Lemmas 2/4/6 count).
     """
-    xs = [x for x, _ in points]
-    if len(set(xs)) != len(xs):
-        raise ValueError("interpolation points must have distinct x coordinates")
+    _require_distinct([x for x, _ in points])
     field.counter.interpolations += 1
     result = Polynomial.zero(field)
     for i, (xi, yi) in enumerate(points):
@@ -49,9 +65,7 @@ def interpolate_at(field: Field, points: Sequence[Point], x0: Element) -> Elemen
     Lagrange sum costing O(len(points)^2) multiplications but no polynomial
     object.  Counted as one interpolation.
     """
-    xs = [x for x, _ in points]
-    if len(set(xs)) != len(xs):
-        raise ValueError("interpolation points must have distinct x coordinates")
+    _require_distinct([x for x, _ in points])
     field.counter.interpolations += 1
     total = field.zero
     for i, (xi, yi) in enumerate(points):
@@ -82,17 +96,35 @@ def check_degree(field: Field, points: Sequence[Point], t: int) -> bool:
 def lagrange_coefficients_at_zero(field: Field, xs: Sequence[Element]) -> List[Element]:
     """Weights ``w_i`` with ``f(0) = sum_i w_i f(x_i)`` for deg(f) < len(xs).
 
-    Useful for repeated reconstructions over a fixed share set (the
+    Used for repeated reconstructions over a fixed share set (the
     bootstrap source exposes many coins against the same qualified set).
+    Costs a *single* field inversion regardless of ``len(xs)``: the
+    denominators ``prod_{j != i}(x_i - x_j)`` are inverted together with
+    Montgomery batch inversion, and the numerators
+    ``prod_{j != i}(0 - x_j)`` come from one prefix/suffix product sweep.
     """
-    weights = []
+    _require_distinct(xs)
+    n = len(xs)
+    if n == 0:
+        return []
+    if n == 1:
+        return [field.one]
+    # denominators d_i = prod_{j != i} (x_i - x_j)
+    dens = []
     for i, xi in enumerate(xs):
-        w = field.one
+        d = field.one
         for j, xj in enumerate(xs):
-            if j == i:
-                continue
-            w = field.mul(
-                w, field.mul(field.neg(xj), field.inv(field.sub(xi, xj)))
-            )
-        weights.append(w)
-    return weights
+            if j != i:
+                d = field.mul(d, field.sub(xi, xj))
+        dens.append(d)
+    inv_dens = field.batch_inv(dens)
+    # numerators via prefix/suffix products of (0 - x_j)
+    negs = [field.neg(x) for x in xs]
+    prefix = [field.one] * n  # prod of negs[:i]
+    for i in range(1, n):
+        prefix[i] = field.mul(prefix[i - 1], negs[i - 1])
+    suffix = [field.one] * n  # prod of negs[i+1:]
+    for i in range(n - 2, -1, -1):
+        suffix[i] = field.mul(suffix[i + 1], negs[i + 1])
+    nums = field.mul_many(prefix, suffix)
+    return field.mul_many(nums, inv_dens)

@@ -67,7 +67,21 @@ class Polynomial:
         return result
 
     def evaluate_many(self, xs: Sequence[Element]) -> List[Element]:
-        return [self(x) for x in xs]
+        """Evaluate at every point of ``xs`` in one shared Horner sweep.
+
+        A single pass over the coefficients updates all accumulators via
+        the field's vectorized ``axpy_many`` — the same mul/add totals as
+        per-point Horner, but one batched step per coefficient instead of
+        ``len(xs)`` interleaved scalar calls.
+        """
+        f = self.field
+        xs = list(xs)
+        if not xs:
+            return []
+        acc = [f.zero] * len(xs)
+        for c in reversed(self.coeffs):
+            acc = f.axpy_many(acc, xs, c)
+        return acc
 
     # -- arithmetic ------------------------------------------------------------
     def __add__(self, other: "Polynomial") -> "Polynomial":

@@ -30,8 +30,8 @@ from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Sequence, Tuple
 
 from repro.fields.base import Element, Field
+from repro.poly.barycentric import interpolate_cached
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
-from repro.poly.lagrange import interpolate
 from repro.poly.polynomial import Polynomial, horner_batch
 from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import SynchronousNetwork, broadcast
@@ -97,7 +97,9 @@ def batch_vss_program(
         if len(points) < n:
             return BatchVSSResult(False, r)
         all_pts = [(scheme.point(j), v) for j, v in sorted(points.items())]
-        poly = interpolate(field, all_pts)
+        # cached barycentric build over the fixed point set {1..n}: zero
+        # inversions after the first batch verified in this field
+        poly = interpolate_cached(field, all_pts)
         accepted = poly.degree <= t
     return BatchVSSResult(accepted, r)
 

@@ -95,16 +95,16 @@ def bit_gen_program(
     scheme = ShamirScheme(field, n, t)
     total = M + (1 if blinding else 0)
 
-    # Step 1: dealer distributes all share tuples.
+    # Step 1: dealer distributes all share tuples.  Each polynomial is
+    # evaluated at all n points in one shared-Horner sweep.
     sends = []
     if me == dealer:
         if dealer_polys is None or len(dealer_polys) != total:
             raise ValueError(f"dealer must supply {total} polynomials")
+        all_points = [scheme.point(j) for j in range(1, n + 1)]
+        rows = [p.evaluate_many(all_points) for p in dealer_polys]
         sends = [
-            unicast(
-                j,
-                (tag + "/sh", tuple(p(scheme.point(j)) for p in dealer_polys)),
-            )
+            unicast(j, (tag + "/sh", tuple(row[j - 1] for row in rows)))
             for j in range(1, n + 1)
         ]
     inbox = yield sends

@@ -97,7 +97,15 @@ def coin_expose_many(field: Field, me: int, coins) -> Generator:
 
 
 def decode_exposed(field: Field, points, t: int) -> Optional[Element]:
-    """Robustly decode the exposed shares; None when undecodable."""
+    """Robustly decode the exposed shares; None when undecodable.
+
+    The Berlekamp-Welch call below takes its optimistic fast path in the
+    common no-fault case: an inversion-free cached barycentric build
+    through the first t+1 shares, checked against the rest.  Because the
+    bootstrap source exposes many coins against the *same* qualified set,
+    every exposure after the first reuses the cached weights — the
+    per-coin cost drops to one dot product plus the match check.
+    """
     n_valid = len(points)
     threshold = max(2 * t + 1, n_valid - t) if t > 0 else n_valid
     if n_valid == 0 or n_valid < threshold:

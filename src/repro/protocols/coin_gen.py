@@ -172,11 +172,15 @@ def dealing_agreement_program(
         raise ValueError("not enough seed coins")
 
     # ---- Round 1: every player deals its polynomials (Bit-Gen step 1).
+    # Each polynomial is evaluated at all n points in one shared-Horner
+    # sweep rather than n separate scalar evaluations.
     my_polys = [
         _random_vanishing(field, t, rng, vanish_at) for _ in range(total)
     ]
+    point_list = [points[j] for j in range(1, n + 1)]
+    rows = [p.evaluate_many(point_list) for p in my_polys]
     sends = [
-        unicast(j, (tag + "/sh", tuple(p(points[j]) for p in my_polys)))
+        unicast(j, (tag + "/sh", tuple(row[j - 1] for row in rows)))
         for j in range(1, n + 1)
     ]
     inbox = yield sends
@@ -234,15 +238,20 @@ def dealing_agreement_program(
             poly = None
         decoded[j] = poly
 
-    # ---- Steps 4-6: consistency graph and Gavril clique.
+    # ---- Steps 4-6: consistency graph and Gavril clique.  Each decoded
+    # polynomial is checked against every announcer with one batched
+    # evaluation sweep.
     directed = []
+    announcers = sorted(nu_recv)
+    announcer_points = [points[k] for k in announcers]
     for j in range(1, n + 1):
         poly_j = decoded[j]
         if poly_j is None:
             continue
-        for k, vec in nu_recv.items():
-            value = vec[j - 1]
-            if valid_element(field, value) and poly_j(points[k]) == value:
+        evals = poly_j.evaluate_many(announcer_points)
+        for k, expected in zip(announcers, evals):
+            value = nu_recv[k][j - 1]
+            if valid_element(field, value) and expected == value:
                 directed.append((j, k))
     adjacency = mutual_graph(n, directed)
     my_clique = [j for j in gavril_clique(adjacency) if decoded[j] is not None]
@@ -271,13 +280,19 @@ def dealing_agreement_program(
         my_input = 0
         if confidence == 2 and parsed is not None:
             clique, polys = parsed
+            # evaluate each proposed polynomial at every clique point once
+            # (shared-Horner), then check all |clique|^2 pairs
+            clique_points = [points[j] for j in clique]
+            expected = {
+                k: polys[k].evaluate_many(clique_points) for k in clique
+            }
             passing = [
                 j
-                for j in clique
+                for idx, j in enumerate(clique)
                 if j in nu_recv
                 and all(
                     valid_element(field, nu_recv[j][k - 1])
-                    and polys[k](points[j]) == nu_recv[j][k - 1]
+                    and expected[k][idx] == nu_recv[j][k - 1]
                     for k in clique
                 )
             ]

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.fields.base import Element, Field
+from repro.poly.barycentric import interpolate_at_cached
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
-from repro.poly.lagrange import interpolate_at
 from repro.poly.polynomial import Polynomial
 
 
@@ -47,11 +47,14 @@ class ShamirScheme:
         return Polynomial.random(self.field, self.t, rng, constant=secret)
 
     def deal(self, secret: Element, rng) -> Tuple[Polynomial, List[Share]]:
-        """Deal ``secret``: returns the polynomial and all n shares."""
+        """Deal ``secret``: returns the polynomial and all n shares.
+
+        All n evaluations run as one shared-Horner sweep
+        (:meth:`Polynomial.evaluate_many`) over the fixed point set.
+        """
         poly = self.share_polynomial(secret, rng)
-        shares = [
-            Share(i, poly(self._points[i - 1])) for i in range(1, self.n + 1)
-        ]
+        values = poly.evaluate_many(self._points)
+        shares = [Share(i + 1, v) for i, v in enumerate(values)]
         return poly, shares
 
     def share_for(self, poly: Polynomial, player_id: int) -> Share:
@@ -64,13 +67,22 @@ class ShamirScheme:
 
     # -- reconstruction -------------------------------------------------------
     def reconstruct(self, shares: Iterable[Share]) -> Element:
-        """Plain Lagrange reconstruction; assumes all shares are correct."""
+        """Plain Lagrange reconstruction; assumes all shares are correct.
+
+        Routed through the barycentric interpolation cache: the Lagrange
+        weights at the origin are computed once per share set (a single
+        batch inversion) and every later reconstruction over the same set
+        is an inversion-free dot product.  Still counted as one
+        interpolation — the unit the paper's lemmas price.
+        """
         pts = [(self.point(s.player_id), s.value) for s in shares]
         if len(pts) < self.t + 1:
             raise ValueError(
                 f"need at least t+1={self.t + 1} shares, got {len(pts)}"
             )
-        return interpolate_at(self.field, pts[: self.t + 1], self.field.zero)
+        return interpolate_at_cached(
+            self.field, pts[: self.t + 1], self.field.zero
+        )
 
     def reconstruct_robust(
         self, shares: Sequence[Share], max_errors: int = None
