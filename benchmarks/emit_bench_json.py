@@ -16,9 +16,15 @@ Each interpolation-heavy bench runs in three cache modes (see
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench_json.py [--smoke] [--out PATH]
+        [--baseline PATH] [--max-regression 0.20]
 
 ``--smoke`` shrinks every configuration for CI (a correctness/regression
-smoke, not a rigorous measurement).
+smoke, not a rigorous measurement).  ``--baseline`` compares this run's
+speedup ratios against a committed baseline JSON (same flavour:
+smoke-vs-smoke or full-vs-full) and fails if any ratio regressed by more
+than ``--max-regression`` (default 20%).  Ratios — not wall-clock — are
+compared, so the guard is machine-independent: it catches "the cache
+stopped helping", not "the CI runner is slower".
 """
 
 from __future__ import annotations
@@ -180,12 +186,51 @@ def speedups(results):
     return out
 
 
+def check_regressions(payload, baseline_path, max_regression):
+    """Compare speedup ratios against a committed baseline.
+
+    Returns a list of human-readable failure strings (empty = pass).
+    Keys are matched exactly: every baseline speedup key must exist in
+    the current run (the configurations are deterministic per flavour),
+    and each current ratio must be >= baseline * (1 - max_regression).
+    """
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    failures = []
+    if bool(baseline.get("smoke")) != bool(payload["smoke"]):
+        return [
+            "baseline flavour mismatch: baseline smoke="
+            f"{baseline.get('smoke')} vs current smoke={payload['smoke']} "
+            "(compare smoke-vs-smoke or full-vs-full only)"
+        ]
+    current = payload["speedups"]
+    for key, base in sorted(baseline.get("speedups", {}).items()):
+        if key not in current:
+            failures.append(f"{key}: present in baseline but missing from "
+                            "this run (configuration drift?)")
+            continue
+        floor = base * (1 - max_regression)
+        status = "ok" if current[key] >= floor else "REGRESSED"
+        print(f"  {key}: {current[key]}x vs baseline {base}x "
+              f"(floor {floor:.2f}x) {status}")
+        if current[key] < floor:
+            failures.append(
+                f"{key}: {current[key]}x < floor {floor:.2f}x "
+                f"(baseline {base}x, tolerance {max_regression:.0%})"
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny configurations for CI")
     parser.add_argument("--out", default=None,
                         help="output path (default: <repo>/BENCH_core.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to guard speedups against")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="max allowed fractional speedup regression "
+                             "vs the baseline (default 0.20)")
     args = parser.parse_args(argv)
 
     out_path = pathlib.Path(
@@ -223,6 +268,17 @@ def main(argv=None):
         factor = payload["speedups"][expose_key[0]]
         status = "OK" if factor >= 2.0 else "BELOW TARGET"
         print(f"coin exposure cached-vs-uncached: {factor}x ({status}, target >= 2x)")
+
+    if args.baseline:
+        print(f"regression guard vs {args.baseline} "
+              f"(tolerance {args.max_regression:.0%}):")
+        failures = check_regressions(payload, args.baseline,
+                                     args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression guard: all speedups within tolerance")
     return 0
 
 

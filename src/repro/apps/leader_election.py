@@ -47,6 +47,22 @@ class LeaderElection:
         self.exact_uniform = exact_uniform
         self.history: List[ElectionResult] = []
 
+    @classmethod
+    def from_context(
+        cls,
+        context,
+        candidates: Optional[Sequence[int]] = None,
+        exact_uniform: bool = False,
+        **source_kwargs,
+    ) -> "LeaderElection":
+        """Build an election over a fresh coin source for ``context``.
+
+        The source inherits the context's scheduler, fault plane, and
+        tracer — elections run identically under any delivery policy.
+        """
+        source = BootstrapCoinSource(context=context, **source_kwargs)
+        return cls(source, candidates=candidates, exact_uniform=exact_uniform)
+
     def elect(self) -> int:
         """Elect one leader; returns the candidate id."""
         field = self.source.system.field

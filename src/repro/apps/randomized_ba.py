@@ -61,6 +61,17 @@ class CommonCoinBA:
         self.source = source
         self.max_rounds = max_rounds
 
+    @classmethod
+    def from_context(cls, context, max_rounds: int = 64,
+                     **source_kwargs) -> "CommonCoinBA":
+        """Build a BA over a fresh coin source wired to ``context``.
+
+        The source inherits the context's scheduler, fault plane, and
+        tracer, so the coin supply runs under the chosen delivery policy.
+        """
+        source = BootstrapCoinSource(context=context, **source_kwargs)
+        return cls(source, max_rounds=max_rounds)
+
     def agree(
         self,
         inputs: Dict[int, int],

@@ -20,6 +20,8 @@ from typing import List, Optional
 from repro.analysis import complexity as cx
 from repro.core import BootstrapCoinSource
 from repro.fields import GF2k
+from repro.net import PermutedDeliveryScheduler
+from repro.protocols.context import ProtocolContext
 from repro.protocols.vss import run_vss
 
 
@@ -29,12 +31,26 @@ def _add_system_arguments(parser: argparse.ArgumentParser, default_n: int = 7,
     parser.add_argument("--t", type=int, default=default_t, help="faults tolerated")
     parser.add_argument("--k", type=int, default=32, help="security parameter (field GF(2^k))")
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--scheduler", choices=("lockstep", "permuted"),
+                        default="lockstep",
+                        help="message delivery policy (permuted = seeded "
+                             "random within-round arrival order)")
+    parser.add_argument("--sched-seed", type=int, default=0,
+                        help="seed for the permuted scheduler")
+
+
+def _make_context(args: argparse.Namespace) -> ProtocolContext:
+    """The ProtocolContext the chosen CLI flags describe."""
+    scheduler = None
+    if args.scheduler == "permuted":
+        scheduler = PermutedDeliveryScheduler(seed=args.sched_seed)
+    return ProtocolContext.create(
+        GF2k(args.k), args.n, args.t, seed=args.seed, scheduler=scheduler
+    )
 
 
 def _cmd_toss(args: argparse.Namespace) -> int:
-    source = BootstrapCoinSource(
-        GF2k(args.k), args.n, args.t, batch_size=args.batch, seed=args.seed
-    )
+    source = BootstrapCoinSource(context=_make_context(args), batch_size=args.batch)
     if args.elements:
         for _ in range(args.count):
             width = (args.k + 3) // 4
@@ -80,11 +96,8 @@ def _cmd_costs(args: argparse.Namespace) -> int:
 
 
 def _cmd_vss(args: argparse.Namespace) -> int:
-    field = GF2k(args.k)
     cheat = {args.cheat_player: 0xBAD} if args.cheat else None
-    results, metrics = run_vss(
-        field, args.n, args.t, seed=args.seed, cheat_shares=cheat
-    )
+    results, metrics = run_vss(_make_context(args), cheat_shares=cheat)
     verdicts = {r.accepted for r in results.values()}
     if len(verdicts) != 1:
         print("ERROR: players disagree", file=sys.stderr)
@@ -103,8 +116,7 @@ def _cmd_vss(args: argparse.Namespace) -> int:
 
 def _cmd_beacon(args: argparse.Namespace) -> int:
     source = BootstrapCoinSource(
-        GF2k(args.k), args.n, args.t, batch_size=args.batch,
-        low_watermark=2, seed=args.seed,
+        context=_make_context(args), batch_size=args.batch, low_watermark=2
     )
     width = (args.k + 3) // 4
     for tick in range(1, args.ticks + 1):

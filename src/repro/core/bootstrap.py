@@ -18,13 +18,16 @@ It supports a mobile adversary re-corrupting players between batches
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.fields.base import Element, Field
 from repro.net.adversary import Adversary
 from repro.core.coin import SharedCoin
 from repro.core.dprbg import DPRBG, SharedCoinSystem, StretchResult
 from repro.core.seed import TrustedDealer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.context import ProtocolContext
 
 
 class BootstrapCoinSource:
@@ -51,17 +54,20 @@ class BootstrapCoinSource:
 
     def __init__(
         self,
-        field: Field,
-        n: int,
-        t: int,
+        field: Optional[Field] = None,
+        n: Optional[int] = None,
+        t: Optional[int] = None,
         batch_size: int = 32,
         low_watermark: int = 1,
         seed: int = 0,
         adversary_schedule: Optional[Callable[[int], Optional[Adversary]]] = None,
         max_iterations: Optional[int] = None,
         blinding: bool = True,
+        context: Optional["ProtocolContext"] = None,
     ):
-        self.system = SharedCoinSystem(field, n, t, seed=seed)
+        self.system = SharedCoinSystem(field, n, t, seed=seed, context=context)
+        field, n, t = self.system.field, self.system.n, self.system.t
+        seed = self.system.context.seed
         self.dprbg = DPRBG(
             self.system, max_iterations=max_iterations, blinding=blinding
         )

@@ -16,16 +16,15 @@ single Coin-Gen execution.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fields.base import Element, Field
 from repro.net.adversary import Adversary
 from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import SynchronousNetwork
-from repro.protocols.coin_expose import CoinShare, coin_expose
 from repro.protocols.coin_gen import CoinGenOutput, coin_gen_program
+from repro.protocols.context import ProtocolContext
 from repro.core.coin import SharedCoin, UnanimityError
 
 
@@ -70,20 +69,34 @@ class SharedCoinSystem:
 
     def __init__(
         self,
-        field: Field,
-        n: int,
-        t: int,
+        field: Optional[Field] = None,
+        n: Optional[int] = None,
+        t: Optional[int] = None,
         seed: int = 0,
         adversary: Optional[Adversary] = None,
+        context: Optional[ProtocolContext] = None,
     ):
-        if n < 6 * t + 1:
-            raise ValueError(f"the coin pipeline requires n >= 6t+1 (n={n}, t={t})")
-        self.field = field
-        self.n = n
-        self.t = t
+        if context is None:
+            if isinstance(field, ProtocolContext):
+                context = field
+            else:
+                if field is None or n is None or t is None:
+                    raise TypeError(
+                        "need (field, n, t) or a ProtocolContext"
+                    )
+                context = ProtocolContext.create(field, n, t, seed=seed)
+        if context.n < 6 * context.t + 1:
+            raise ValueError(
+                f"the coin pipeline requires n >= 6t+1 "
+                f"(n={context.n}, t={context.t})"
+            )
+        self.context = context
+        self.field = context.field
+        self.n = context.n
+        self.t = context.t
         self.adversary = adversary
-        self.rng = random.Random(seed)
-        self.total_metrics = NetworkMetrics(element_bits=field.bit_length)
+        self.rng = context.rng
+        self.total_metrics = context.metrics
         self.runs = 0
 
     # -- adversary control -------------------------------------------------
@@ -104,11 +117,9 @@ class SharedCoinSystem:
         return self.adversary.programs(self.n)
 
     def _network(self) -> SynchronousNetwork:
-        return SynchronousNetwork(
-            self.n,
-            field=self.field,
-            rushing=self.corrupt if self.adversary and self.adversary.rushing else (),
+        return self.context.network(
             allow_broadcast=False,
+            rushing=self.corrupt if self.adversary and self.adversary.rushing else (),
         )
 
     # -- coin generation ------------------------------------------------------
@@ -140,7 +151,7 @@ class SharedCoinSystem:
                 pid,
                 M,
                 per_player_seed,
-                random.Random(self.rng.randrange(1 << 62)),
+                self.context.child_rng(),
                 tag=tag,
                 blinding=blinding,
                 shared_challenge=shared_challenge,

@@ -21,6 +21,21 @@ from repro.net.simulator import (
     multicast,
     unicast,
 )
+from repro.net.transport import (
+    BroadcastTransport,
+    PrivateChannelTransport,
+    ProtocolViolation,
+    Transport,
+    make_transport,
+)
+from repro.net.scheduler import (
+    LockstepScheduler,
+    PermutedDeliveryScheduler,
+    Scheduler,
+)
+from repro.net.faults import FaultPlane
+from repro.net.runtime import ProtocolRuntime
+from repro.net.trace import Tracer
 from repro.net.metrics import NetworkMetrics, payload_field_elements
 from repro.net.adversary import (
     Adversary,
@@ -36,6 +51,17 @@ __all__ = [
     "broadcast",
     "multicast",
     "unicast",
+    "Transport",
+    "BroadcastTransport",
+    "PrivateChannelTransport",
+    "make_transport",
+    "ProtocolViolation",
+    "Scheduler",
+    "LockstepScheduler",
+    "PermutedDeliveryScheduler",
+    "FaultPlane",
+    "ProtocolRuntime",
+    "Tracer",
     "NetworkMetrics",
     "payload_field_elements",
     "Adversary",

@@ -1,0 +1,168 @@
+"""Fault-injection plane: message and player faults over any scheduler.
+
+The paper's guarantees are earned under ``t`` *arbitrary* faults — not
+just the happy path.  The :class:`FaultPlane` layers concrete, scriptable
+fault scenarios over any scheduler without touching protocol code:
+
+* **per-edge message faults** — drop, duplicate, or delay-by-rounds any
+  ``src -> dst`` traffic, optionally restricted to a set of rounds;
+* **player faults** — crash (permanently stop stepping and sending at a
+  chosen round) or silence (suppress sends for chosen rounds while the
+  program keeps running).
+
+Faults apply *after* transport metering: the tallies count what honest
+code paid to transmit, and the plane decides what actually arrives.
+
+Soundness scope: the paper's synchronous model lets the adversary
+interfere only with faulty players' traffic.  Injecting faults on edges
+between *honest* players leaves the model (it simulates an unreliable
+network the protocols were not designed for) — the regression suite
+confines fault rules to at most ``t`` players, and so should you.
+
+Example
+-------
+::
+
+    plane = FaultPlane()
+    plane.drop(src=3)                 # player 3's sends never arrive
+    plane.duplicate(src=4, dst=1)     # 4 -> 1 messages arrive twice
+    plane.delay(src=5, by=2)          # 5's sends arrive two rounds late
+    plane.crash(6, at_round=2)        # 6 stops participating in round 2
+    net = SynchronousNetwork(7, faults=plane, allow_broadcast=False)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.net.scheduler import RoutedDelivery
+
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class EdgeRule:
+    """One per-edge fault rule; ``None`` src/dst/rounds mean "any"."""
+
+    kind: str
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    rounds: Optional[frozenset] = None
+    delay: int = 0
+
+    def matches(self, round_no: int, src: int, dst: int) -> bool:
+        return (
+            (self.src is None or self.src == src)
+            and (self.dst is None or self.dst == dst)
+            and (self.rounds is None or round_no in self.rounds)
+        )
+
+
+def _round_set(rounds: Optional[Iterable[int]]) -> Optional[frozenset]:
+    return None if rounds is None else frozenset(rounds)
+
+
+class FaultPlane:
+    """Scriptable message/player faults, applied by the runtime each round.
+
+    Rules are applied in registration order; the first matching rule
+    decides a delivery's fate (drop / duplicate / delay).  Player crashes
+    are tracked separately and also consulted by the runtime's stepping
+    loop and termination check.
+    """
+
+    def __init__(self) -> None:
+        self.rules: List[EdgeRule] = []
+        #: player id -> round from which the player is crashed
+        self.crashes: Dict[int, int] = {}
+        #: player id -> rounds in which its sends are suppressed
+        self.silences: Dict[int, frozenset] = {}
+        # pending delayed deliveries: due round -> deliveries
+        self._delayed: Dict[int, List[RoutedDelivery]] = {}
+
+    # -- rule registration (chainable) --------------------------------------
+    def drop(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        rounds: Optional[Iterable[int]] = None,
+    ) -> "FaultPlane":
+        """Drop matching deliveries outright."""
+        self.rules.append(EdgeRule(DROP, src, dst, _round_set(rounds)))
+        return self
+
+    def duplicate(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        rounds: Optional[Iterable[int]] = None,
+    ) -> "FaultPlane":
+        """Deliver matching messages twice in the same round."""
+        self.rules.append(EdgeRule(DUPLICATE, src, dst, _round_set(rounds)))
+        return self
+
+    def delay(
+        self,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        by: int = 1,
+        rounds: Optional[Iterable[int]] = None,
+    ) -> "FaultPlane":
+        """Deliver matching messages ``by`` rounds later than scheduled."""
+        if by < 1:
+            raise ValueError("delay must be at least one round")
+        self.rules.append(
+            EdgeRule(DELAY, src, dst, _round_set(rounds), delay=by)
+        )
+        return self
+
+    def crash(self, pid: int, at_round: int = 1) -> "FaultPlane":
+        """Player ``pid`` stops stepping and sending from ``at_round`` on."""
+        current = self.crashes.get(pid)
+        self.crashes[pid] = at_round if current is None else min(current, at_round)
+        return self
+
+    def silence(self, pid: int, rounds: Iterable[int]) -> "FaultPlane":
+        """Suppress ``pid``'s sends in ``rounds`` (program keeps stepping)."""
+        previous = self.silences.get(pid, frozenset())
+        self.silences[pid] = previous | frozenset(rounds)
+        return self
+
+    # -- runtime hooks -------------------------------------------------------
+    def is_crashed(self, pid: int, round_no: int) -> bool:
+        at = self.crashes.get(pid)
+        return at is not None and round_no >= at
+
+    def crashed_players(self) -> Set[int]:
+        """Players with a scheduled crash (excluded from the wait set)."""
+        return set(self.crashes)
+
+    def is_silenced(self, pid: int, round_no: int) -> bool:
+        return round_no in self.silences.get(pid, frozenset())
+
+    def apply(
+        self, round_no: int, deliveries: List[RoutedDelivery]
+    ) -> List[RoutedDelivery]:
+        """Rewrite one round's deliveries; releases matured delayed traffic."""
+        out: List[RoutedDelivery] = []
+        for delivery in deliveries:
+            dst, src, _payload = delivery
+            rule = next(
+                (r for r in self.rules if r.matches(round_no, src, dst)), None
+            )
+            if rule is None:
+                out.append(delivery)
+            elif rule.kind == DROP:
+                continue
+            elif rule.kind == DUPLICATE:
+                out.append(delivery)
+                out.append(delivery)
+            elif rule.kind == DELAY:
+                self._delayed.setdefault(round_no + rule.delay, []).append(
+                    delivery
+                )
+        out.extend(self._delayed.pop(round_no, []))
+        return out

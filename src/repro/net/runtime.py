@@ -1,0 +1,246 @@
+"""Protocol runtime: generator programs over transport + scheduler + faults.
+
+The execution stack (see DESIGN.md, "Runtime architecture"):
+
+* :mod:`repro.net.transport` — what channels exist and what a ``Send``
+  costs (metering, codec enforcement);
+* :mod:`repro.net.scheduler` — who steps when (rushing) and in what
+  order a round's deliveries land;
+* :mod:`repro.net.faults` — an optional fault plane that drops,
+  duplicates, or delays edges and crashes/silences players;
+* this module — the synchronous round loop tying them together.
+
+Players are Python generators.  Each round a player *yields* a list of
+:class:`~repro.net.transport.Send` instructions and is *sent* back its
+inbox for that round — a dict mapping source player id to the list of
+payloads received from that source.  A generator's ``return`` value is
+the player's protocol output.  This shape makes honest protocol code
+read like the paper's per-player pseudocode, and makes a Byzantine
+player just a different generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.fields.base import Field
+from repro.net.faults import FaultPlane
+from repro.net.metrics import NetworkMetrics
+from repro.net.scheduler import LockstepScheduler, Scheduler
+from repro.net.transport import (
+    ProtocolViolation,
+    Send,
+    Transport,
+    make_transport,
+)
+
+Payload = Any
+Inbox = Dict[int, List[Payload]]
+Program = Generator[List[Send], Inbox, Any]
+
+
+class ProtocolRuntime:
+    """Runs ``n`` player programs in synchronous rounds over the stack.
+
+    Parameters
+    ----------
+    n:
+        Number of players, with ids ``1..n``.
+    field:
+        Optional field whose operation counter is attributed per player
+        (snapshots around each program step).
+    metrics:
+        Optional pre-existing metrics object to accumulate into.
+    transport:
+        The channel layer; defaults to a broadcast-capable transport
+        over ``metrics``.
+    scheduler:
+        Stepping/delivery policy; defaults to :class:`LockstepScheduler`
+        (the historical semantics, byte for byte).
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlane` applied to every
+        round's deliveries and to the stepping loop.
+    observer:
+        Optional callable ``observer(round_number, deliveries)`` where
+        deliveries is a list of (dst, src, payload).
+    tracer:
+        Optional :class:`~repro.net.trace.Tracer`; its ``observe`` hook
+        is chained after ``observer``.  Attaching here (rather than
+        wrapping the network) makes traces identical under every
+        scheduler.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        field: Optional[Field] = None,
+        metrics: Optional[NetworkMetrics] = None,
+        transport: Optional[Transport] = None,
+        scheduler: Optional[Scheduler] = None,
+        faults: Optional[FaultPlane] = None,
+        max_rounds: int = 100_000,
+        observer=None,
+        tracer=None,
+    ):
+        if n < 1:
+            raise ValueError("need at least one player")
+        self.n = n
+        self.field = field
+        self.metrics = metrics or NetworkMetrics(
+            element_bits=field.bit_length if field is not None else 1
+        )
+        self.transport = transport or make_transport(n, self.metrics)
+        self.scheduler = scheduler or LockstepScheduler()
+        self.faults = faults
+        self.max_rounds = max_rounds
+        self.observer = observer
+        self.tracer = tracer
+
+    # -- compatibility properties -------------------------------------------
+    @property
+    def rushing(self) -> frozenset:
+        return self.scheduler.rushing
+
+    @property
+    def allow_broadcast(self) -> bool:
+        return self.transport.broadcast_available
+
+    @property
+    def enforce_codec(self) -> bool:
+        return self.transport.enforce_codec
+
+    # -- helpers -------------------------------------------------------------
+    def _expand(self, src: int, sends: List[Send]) -> List[tuple]:
+        """Validate and expand a program's sends into (dst, payload).
+
+        Kept as a method (delegating to the transport) so tests and
+        adversarial harnesses can interpose on it.
+        """
+        return self.transport.expand(src, sends)
+
+    def _advance(self, pid: int, program: Program, inbox: Optional[Inbox],
+                 outputs: Dict[int, Any], done: Dict[int, bool]):
+        """Step one program; returns its sends (or None when finished).
+
+        ``inbox=None`` primes a not-yet-started generator with ``next``.
+        """
+        if done.get(pid):
+            return None
+        before = self.field.counter.snapshot() if self.field is not None else None
+        try:
+            if inbox is None:
+                sends = next(program)
+            else:
+                sends = program.send(inbox)
+        except StopIteration as stop:
+            done[pid] = True
+            outputs[pid] = stop.value
+            sends = None
+        finally:
+            if before is not None:
+                delta = self.field.counter.delta(before)
+                self.metrics.add_player_ops(pid, delta)
+        return sends
+
+    def _collect(self, pid: int, program: Program, inbox, round_no: int,
+                 outputs, done, deliveries: List[tuple]) -> None:
+        """Step one player and append its (dst, src, payload) deliveries."""
+        faults = self.faults
+        if faults is not None and faults.is_crashed(pid, round_no):
+            return
+        sends = self._advance(pid, program, inbox, outputs, done)
+        if sends and not (
+            faults is not None and faults.is_silenced(pid, round_no)
+        ):
+            deliveries.extend(
+                (dst, pid, payload)
+                for dst, payload in self._expand(pid, sends)
+            )
+
+    # -- main loop -------------------------------------------------------------
+    def run(
+        self,
+        programs: Dict[int, Program],
+        wait_for: Optional[Iterable[int]] = None,
+    ) -> Dict[int, Any]:
+        """Run programs to completion; returns {player_id: output}.
+
+        ``programs`` maps player ids to generators.  Missing ids are
+        treated as crashed-from-the-start players (they send nothing).
+        ``wait_for`` limits termination to a subset of players (the honest
+        ones) so that never-terminating adversary generators cannot stall
+        the simulation; the others are closed when the run ends.  Players
+        with a scheduled fault-plane crash are never waited for.
+        """
+        for pid in programs:
+            if not 1 <= pid <= self.n:
+                raise ValueError(f"program for unknown player {pid}")
+        waited = set(programs) if wait_for is None else set(wait_for) & set(programs)
+        if self.faults is not None:
+            waited -= self.faults.crashed_players()
+        outputs: Dict[int, Any] = {}
+        done: Dict[int, bool] = {pid: False for pid in programs}
+        inboxes: Dict[int, Inbox] = {pid: {} for pid in programs}
+        started = False
+        round_no = 0
+
+        # Rushing programs are primed at registration: their first yield is
+        # a registration step whose sends are discarded, so that every real
+        # round — including the first — can hand them a peek at the
+        # in-flight honest traffic before they commit to their messages.
+        rushers = [p for p in programs if p in self.scheduler.rushing]
+        ordinary = [p for p in programs if p not in self.scheduler.rushing]
+        for pid in rushers:
+            self._advance(pid, programs[pid], None, outputs, done)
+
+        for _ in range(self.max_rounds):
+            if all(done[pid] for pid in waited):
+                break
+            self.metrics.rounds += 1
+            round_no += 1
+            deliveries: List[tuple] = []  # (dst, src, payload)
+
+            for pid in ordinary:
+                self._collect(
+                    pid, programs[pid], None if not started else inboxes[pid],
+                    round_no, outputs, done, deliveries,
+                )
+
+            # rushing players peek at this round's traffic addressed to them
+            for pid in rushers:
+                if self.faults is not None and self.faults.is_crashed(
+                    pid, round_no
+                ):
+                    continue
+                peek: Inbox = {}
+                for dst, src, payload in deliveries:
+                    if dst == pid:
+                        peek.setdefault(src, []).append(payload)
+                inbox = dict(inboxes[pid])
+                inbox["rush_peek"] = peek  # type: ignore[index]
+                self._collect(
+                    pid, programs[pid], inbox, round_no, outputs, done,
+                    deliveries,
+                )
+
+            if self.faults is not None:
+                deliveries = self.faults.apply(round_no, deliveries)
+            deliveries = self.scheduler.arrange(round_no, deliveries)
+
+            if self.observer is not None:
+                self.observer(self.metrics.rounds, deliveries)
+            if self.tracer is not None:
+                self.tracer.observe(self.metrics.rounds, deliveries)
+            started = True
+            inboxes = {pid: {} for pid in programs}
+            for dst, src, payload in deliveries:
+                if dst in inboxes:
+                    inboxes[dst].setdefault(src, []).append(payload)
+        else:
+            raise ProtocolViolation(
+                f"protocol did not terminate within {self.max_rounds} rounds"
+            )
+        for pid, program in programs.items():
+            if not done.get(pid):
+                program.close()
+        return outputs

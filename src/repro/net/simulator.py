@@ -1,12 +1,21 @@
-"""Lock-step synchronous network simulator.
+"""Lock-step synchronous network simulator (compatibility facade).
 
-Players are Python generators.  Each round a player *yields* a list of
-:class:`Send` instructions and is *sent* back its inbox for that round — a
-dict mapping source player id to the list of payloads received from that
-source.  A generator's ``return`` value is the player's protocol output.
+Historically this module held the whole execution engine; it is now a
+thin facade over the layered runtime:
 
-This shape makes honest protocol code read like the paper's per-player
-pseudocode, and makes a Byzantine player just a different generator.
+* :mod:`repro.net.transport` — channel primitives (:class:`Send`,
+  :func:`unicast`, :func:`multicast`, :func:`broadcast`) and metered
+  message expansion;
+* :mod:`repro.net.scheduler` — stepping/delivery policy (lock-step,
+  permuted delivery, rushing);
+* :mod:`repro.net.faults` — optional fault injection;
+* :mod:`repro.net.runtime` — the synchronous round loop.
+
+:class:`SynchronousNetwork` keeps its historical constructor and
+behaviour byte for byte (its default scheduler is the
+:class:`~repro.net.scheduler.LockstepScheduler`), while accepting the
+new ``scheduler``, ``faults``, and ``tracer`` layers as keyword
+arguments.  See DESIGN.md, "Runtime architecture".
 
 Fault model (paper Section 2):
 
@@ -26,54 +35,40 @@ Fault model (paper Section 2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+import copy
+from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.fields.base import Field
+from repro.net.faults import FaultPlane
 from repro.net.metrics import NetworkMetrics
+from repro.net.runtime import Inbox, Payload, Program, ProtocolRuntime
+from repro.net.scheduler import LockstepScheduler, Scheduler
+from repro.net.transport import (  # noqa: F401  (re-exported wire primitives)
+    ALL,
+    ProtocolViolation,
+    Send,
+    broadcast,
+    make_transport,
+    multicast,
+    unicast,
+)
 
-#: destination sentinel: deliver to every player (n unicasts)
-ALL = 0
-
-Payload = Any
-Inbox = Dict[int, List[Payload]]
-Program = Generator[List["Send"], Inbox, Any]
-
-
-@dataclass(frozen=True)
-class Send:
-    """One outgoing message: ``dst`` is a player id (1-based) or :data:`ALL`."""
-
-    dst: int
-    payload: Payload
-    broadcast: bool = False
-
-
-def unicast(dst: int, payload: Payload) -> Send:
-    """Point-to-point message over a private channel."""
-    return Send(dst, payload)
-
-
-def multicast(payload: Payload) -> Send:
-    """The same payload to every player as n point-to-point messages.
-
-    This is the Section 4 substitute for broadcast: "every time a player
-    needs to announce a message, (s)he can only distribute it to each of
-    the other players individually."
-    """
-    return Send(ALL, payload)
+__all__ = [
+    "ALL",
+    "Send",
+    "unicast",
+    "multicast",
+    "broadcast",
+    "ProtocolViolation",
+    "Payload",
+    "Inbox",
+    "Program",
+    "SynchronousNetwork",
+    "run_protocol",
+]
 
 
-def broadcast(payload: Payload) -> Send:
-    """One use of the ideal broadcast channel (Section 3 model only)."""
-    return Send(ALL, payload, broadcast=True)
-
-
-class ProtocolViolation(Exception):
-    """A program mis-used the simulator (honest-code bug, not a fault)."""
-
-
-class SynchronousNetwork:
+class SynchronousNetwork(ProtocolRuntime):
     """Runs ``n`` player programs in lock-step rounds.
 
     Parameters
@@ -87,11 +82,23 @@ class SynchronousNetwork:
         Optional pre-existing metrics object to accumulate into.
     rushing:
         Player ids that receive the current round's traffic addressed to
-        them before emitting their own messages.
+        them before emitting their own messages (merged into the
+        scheduler's rushing set).
     allow_broadcast:
         Whether the ideal broadcast channel exists.  The Section 4 coin
         generation protocols set this to False, enforcing the paper's
         point-to-point-only model.
+    scheduler:
+        Delivery/stepping policy; default :class:`LockstepScheduler`
+        reproduces the historical semantics exactly.
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlane`.
+    observer, tracer:
+        Per-round delivery callbacks (see :class:`ProtocolRuntime`).
+    enforce_codec:
+        When set, every payload is round-tripped through the binary wire
+        codec (net.codec): unencodable payloads raise, and the metrics
+        object accumulates the exact wire byte count in ``wire_bytes``.
     """
 
     def __init__(
@@ -104,172 +111,35 @@ class SynchronousNetwork:
         max_rounds: int = 100_000,
         observer=None,
         enforce_codec: bool = False,
+        scheduler: Optional[Scheduler] = None,
+        faults: Optional[FaultPlane] = None,
+        tracer=None,
     ):
-        if n < 1:
-            raise ValueError("need at least one player")
-        self.n = n
-        self.field = field
-        self.metrics = metrics or NetworkMetrics(
+        metrics = metrics or NetworkMetrics(
             element_bits=field.bit_length if field is not None else 1
         )
-        self.rushing = frozenset(rushing)
-        self.allow_broadcast = allow_broadcast
-        self.max_rounds = max_rounds
-        #: optional callable ``observer(round_number, deliveries)`` where
-        #: deliveries is a list of (dst, src, payload) — see net.trace.Tracer
-        self.observer = observer
-        #: when set, every payload is round-tripped through the binary wire
-        #: codec (net.codec): unencodable payloads raise, and the metrics
-        #: object accumulates the exact wire byte count in ``wire_bytes``
-        self.enforce_codec = enforce_codec
-        if enforce_codec and not hasattr(self.metrics, "wire_bytes"):
-            self.metrics.wire_bytes = 0  # type: ignore[attr-defined]
-
-    # -- helpers -------------------------------------------------------------
-    def _expand(self, src: int, sends: List[Send]) -> List[tuple]:
-        """Validate and expand a program's sends into (dst, payload, bc)."""
-        deliveries = []
-        for send in sends or []:
-            if not isinstance(send, Send):
-                raise ProtocolViolation(
-                    f"player {src} yielded {type(send).__name__}, expected Send"
-                )
-            if self.enforce_codec:
-                from repro.net import codec
-
-                wire = codec.encode(send.payload)
-                # one transmission per receiver for point-to-point fan-out;
-                # the ideal broadcast channel is one transmission
-                copies = (
-                    self.n if (send.dst == ALL and not send.broadcast) else 1
-                )
-                self.metrics.wire_bytes += copies * len(wire)  # type: ignore[attr-defined]
-                send = Send(send.dst, codec.decode(wire), send.broadcast)
-            if send.broadcast:
-                if not self.allow_broadcast:
-                    raise ProtocolViolation(
-                        "broadcast channel not available in this model"
-                    )
-                if send.dst != ALL:
-                    raise ProtocolViolation("broadcast must be addressed to ALL")
-                self.metrics.record_broadcast(send.payload)
-                deliveries.extend(
-                    (dst, send.payload) for dst in range(1, self.n + 1)
-                )
-            elif send.dst == ALL:
-                for dst in range(1, self.n + 1):
-                    self.metrics.record_unicast(send.payload)
-                    deliveries.append((dst, send.payload))
-            else:
-                if not 1 <= send.dst <= self.n:
-                    raise ProtocolViolation(f"bad destination {send.dst}")
-                self.metrics.record_unicast(send.payload)
-                deliveries.append((send.dst, send.payload))
-        return deliveries
-
-    def _advance(self, pid: int, program: Program, inbox: Optional[Inbox],
-                 outputs: Dict[int, Any], done: Dict[int, bool]):
-        """Step one program; returns its sends (or None when finished).
-
-        ``inbox=None`` primes a not-yet-started generator with ``next``.
-        """
-        if done.get(pid):
-            return None
-        before = self.field.counter.snapshot() if self.field is not None else None
-        try:
-            if inbox is None:
-                sends = next(program)
-            else:
-                sends = program.send(inbox)
-        except StopIteration as stop:
-            done[pid] = True
-            outputs[pid] = stop.value
-            sends = None
-        finally:
-            if before is not None:
-                delta = self.field.counter.delta(before)
-                self.metrics.add_player_ops(pid, delta)
-        return sends
-
-    # -- main loop -------------------------------------------------------------
-    def run(
-        self,
-        programs: Dict[int, Program],
-        wait_for: Optional[Iterable[int]] = None,
-    ) -> Dict[int, Any]:
-        """Run programs to completion; returns {player_id: output}.
-
-        ``programs`` maps player ids to generators.  Missing ids are
-        treated as crashed-from-the-start players (they send nothing).
-        ``wait_for`` limits termination to a subset of players (the honest
-        ones) so that never-terminating adversary generators cannot stall
-        the simulation; the others are closed when the run ends.
-        """
-        for pid in programs:
-            if not 1 <= pid <= self.n:
-                raise ValueError(f"program for unknown player {pid}")
-        waited = set(programs) if wait_for is None else set(wait_for) & set(programs)
-        outputs: Dict[int, Any] = {}
-        done: Dict[int, bool] = {pid: False for pid in programs}
-        inboxes: Dict[int, Inbox] = {pid: {} for pid in programs}
-        started = False
-
-        # Rushing programs are primed at registration: their first yield is
-        # a registration step whose sends are discarded, so that every real
-        # round — including the first — can hand them a peek at the
-        # in-flight honest traffic before they commit to their messages.
-        rushers = [p for p in programs if p in self.rushing]
-        ordinary = [p for p in programs if p not in self.rushing]
-        for pid in rushers:
-            self._advance(pid, programs[pid], None, outputs, done)
-
-        for _ in range(self.max_rounds):
-            if all(done[pid] for pid in waited):
-                break
-            self.metrics.rounds += 1
-            deliveries: List[tuple] = []  # (dst, src, payload)
-
-            for pid in ordinary:
-                sends = self._advance(
-                    pid, programs[pid], None if not started else inboxes[pid],
-                    outputs, done,
-                )
-                if sends:
-                    deliveries.extend(
-                        (dst, pid, payload)
-                        for dst, payload in self._expand(pid, sends)
-                    )
-
-            # rushing players peek at this round's traffic addressed to them
-            for pid in rushers:
-                peek: Inbox = {}
-                for dst, src, payload in deliveries:
-                    if dst == pid:
-                        peek.setdefault(src, []).append(payload)
-                inbox = dict(inboxes[pid])
-                inbox["rush_peek"] = peek  # type: ignore[index]
-                sends = self._advance(pid, programs[pid], inbox, outputs, done)
-                if sends:
-                    deliveries.extend(
-                        (dst, pid, payload)
-                        for dst, payload in self._expand(pid, sends)
-                    )
-
-            if self.observer is not None:
-                self.observer(self.metrics.rounds, deliveries)
-            started = True
-            inboxes = {pid: {} for pid in programs}
-            for dst, src, payload in deliveries:
-                if dst in inboxes:
-                    inboxes[dst].setdefault(src, []).append(payload)
-        else:
-            raise ProtocolViolation(
-                f"protocol did not terminate within {self.max_rounds} rounds"
-            )
-        for pid, program in programs.items():
-            if not done.get(pid):
-                program.close()
-        return outputs
+        if scheduler is None:
+            scheduler = LockstepScheduler(rushing=rushing)
+        elif rushing:
+            # widen the rushing set on a per-network copy, so a scheduler
+            # shared across runs (e.g. via ProtocolContext) is not mutated
+            scheduler = copy.copy(scheduler)
+            scheduler.rushing = scheduler.rushing | frozenset(rushing)
+        super().__init__(
+            n,
+            field=field,
+            metrics=metrics,
+            transport=make_transport(
+                n, metrics,
+                allow_broadcast=allow_broadcast,
+                enforce_codec=enforce_codec,
+            ),
+            scheduler=scheduler,
+            faults=faults,
+            max_rounds=max_rounds,
+            observer=observer,
+            tracer=tracer,
+        )
 
 
 def run_protocol(

@@ -1,21 +1,35 @@
 """Protocol execution tracing.
 
-A :class:`Tracer` observes a :class:`~repro.net.simulator.SynchronousNetwork`
-run and records, per round: which players sent, message counts per tag
-prefix, and byte volumes.  Useful for debugging protocol round structure
-and for the documentation's round-by-round tables.
+A :class:`Tracer` observes a protocol run and records, per round: which
+players sent, message counts per tag prefix, and byte volumes.  Useful
+for debugging protocol round structure and for the documentation's
+round-by-round tables.
+
+Attach a tracer through the runtime — ``SynchronousNetwork(tracer=...)``
+or ``ProtocolContext(tracer=...)`` — rather than wrapping the network:
+the runtime invokes it after the scheduler and fault plane have settled
+each round's deliveries, so traces are produced identically under every
+scheduler.  (The legacy ``observer=tracer.observe`` hook still works.)
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Dict, List, Tuple
 
 
 def payload_tag(payload: Any) -> str:
-    """The tag of a conventional ``(tag, body)`` payload, else ``"?"``."""
+    """A payload's trace tag.
+
+    Conventional ``(tag, body)`` payloads are tagged by their string
+    tag; dataclass payloads (e.g. structured adversary probes) by their
+    class name; anything else by ``"?"``.
+    """
     if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
         return payload[0]
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return type(payload).__name__
     return "?"
 
 
@@ -43,7 +57,7 @@ class RoundTrace:
 
 
 class Tracer:
-    """Collects per-round traces; attach via ``SynchronousNetwork(observer=...)``."""
+    """Collects per-round traces; attach via ``SynchronousNetwork(tracer=...)``."""
 
     def __init__(self) -> None:
         self.rounds: List[RoundTrace] = []

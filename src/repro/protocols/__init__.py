@@ -18,6 +18,7 @@ Substrates:
 * :mod:`repro.protocols.clique` — consistency graph + Gavril clique finding
 """
 
+from repro.protocols.context import ProtocolContext, as_context
 from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
 from repro.protocols.vss import run_vss, vss_program, VSSResult
 from repro.protocols.vss_complaints import (
@@ -37,6 +38,8 @@ from repro.protocols.refresh import run_refresh, refresh_program, RefreshOutput
 from repro.protocols.recovery import run_recovery, recovery_program, RecoveryOutput
 
 __all__ = [
+    "ProtocolContext",
+    "as_context",
     "CoinShare",
     "coin_expose",
     "make_dealer_coin",

@@ -73,12 +73,20 @@ def phase_king(
     return pref
 
 
-def run_phase_king(n, t, inputs: Dict[int, int], field=None, faulty=None, tag="ba"):
-    """Standalone runner for tests/benches; returns (decisions, metrics)."""
+def run_phase_king(n, t, inputs: Dict[int, int], field=None, faulty=None,
+                   tag="ba", context=None):
+    """Standalone runner for tests/benches; returns (decisions, metrics).
+
+    Pass ``context=`` (a :class:`~repro.protocols.context.ProtocolContext`)
+    to run under its scheduler/fault plane/tracer.
+    """
     from repro.net.simulator import SynchronousNetwork
 
     faulty = faulty or {}
-    network = SynchronousNetwork(n, field=field, allow_broadcast=False)
+    if context is not None:
+        network = context.network(allow_broadcast=False)
+    else:
+        network = SynchronousNetwork(n, field=field, allow_broadcast=False)
     programs = {}
     for pid in range(1, n + 1):
         if pid in faulty:
@@ -88,4 +96,6 @@ def run_phase_king(n, t, inputs: Dict[int, int], field=None, faulty=None, tag="b
         programs[pid] = phase_king(n, t, pid, inputs[pid], tag)
     honest = [pid for pid in programs if pid not in faulty]
     outputs = network.run(programs, wait_for=honest)
+    if context is not None:
+        context.absorb(network.metrics)
     return outputs, network.metrics

@@ -25,16 +25,18 @@ degree-t polynomial fits the values of at least ``l`` given players.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Sequence, Tuple
 
 from repro.fields.base import Element, Field
 from repro.poly.barycentric import interpolate_cached
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
 from repro.poly.polynomial import Polynomial, horner_batch
 from repro.net.metrics import NetworkMetrics
-from repro.net.simulator import SynchronousNetwork, broadcast
+from repro.net.simulator import broadcast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.context import ProtocolContext
 from repro.sharing.shamir import ShamirScheme
 from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
 from repro.protocols.common import filter_tag, valid_element
@@ -119,16 +121,17 @@ def _fits_degree(field, pts, t) -> bool:
 # ---------------------------------------------------------------------------
 
 def run_batch_vss(
-    field: Field,
-    n: int,
-    t: int,
-    M: int,
+    field,
+    n: Optional[int] = None,
+    t: Optional[int] = None,
+    M: int = 1,
     seed: int = 0,
     cheat_dealings: Optional[Dict[int, Dict[int, Element]]] = None,
     cheat_offsets: Optional[Dict[int, Dict[int, Element]]] = None,
     blinding: bool = False,
     accept_subset: Optional[Sequence[int]] = None,
     faulty_programs: Optional[Dict[int, Generator]] = None,
+    context: Optional["ProtocolContext"] = None,
 ) -> Tuple[Dict[int, BatchVSSResult], NetworkMetrics]:
     """Run Protocol Batch-VSS over M fresh dealings.
 
@@ -142,7 +145,10 @@ def run_batch_vss(
     dealing is appended to mask the combination of secrets (see module
     docstring).
     """
-    rng = random.Random(seed)
+    from repro.protocols.context import as_context
+
+    ctx = context if context is not None else as_context(field, n, t, seed=seed)
+    field, n, t, rng = ctx.field, ctx.n, ctx.t, ctx.rng
     scheme = ShamirScheme(field, n, t)
     total = M + (1 if blinding else 0)
     share_table: Dict[int, list] = {pid: [] for pid in range(1, n + 1)}
@@ -158,7 +164,7 @@ def run_batch_vss(
             share_table[pid].append(values[pid])
 
     _, coin_shares = make_dealer_coin(field, n, t, "batchvss-challenge", rng)
-    network = SynchronousNetwork(n, field=field)
+    network = ctx.network()
     programs = {}
     faulty_programs = faulty_programs or {}
     for pid in range(1, n + 1):
@@ -177,4 +183,5 @@ def run_batch_vss(
         )
     honest = [pid for pid in programs if pid not in faulty_programs]
     outputs = network.run(programs, wait_for=honest)
+    ctx.absorb(network.metrics)
     return outputs, network.metrics

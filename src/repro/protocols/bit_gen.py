@@ -25,15 +25,17 @@ combination.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
 from repro.fields.base import Element, Field
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
 from repro.poly.polynomial import Polynomial, horner_batch
 from repro.net.metrics import NetworkMetrics
-from repro.net.simulator import SynchronousNetwork, multicast, unicast
+from repro.net.simulator import multicast, unicast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.context import ProtocolContext
 from repro.sharing.shamir import ShamirScheme
 from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
 from repro.protocols.common import filter_tag, valid_element, valid_element_tuple
@@ -139,29 +141,36 @@ def bit_gen_program(
 
 
 def run_bit_gen(
-    field: Field,
-    n: int,
-    t: int,
-    M: int,
+    field,
+    n: Optional[int] = None,
+    t: Optional[int] = None,
+    M: int = 1,
     dealer: int = 1,
     seed: int = 0,
     blinding: bool = True,
     cheat_polys=None,
     faulty_programs: Optional[Dict[int, Generator]] = None,
+    context: Optional["ProtocolContext"] = None,
 ) -> Tuple[Dict[int, BitGenOutput], NetworkMetrics]:
     """Run one Bit-Gen instance end to end (point-to-point network).
 
-    ``cheat_polys`` lets a test substitute the dealer's polynomials (e.g.
-    degree > t) to exercise Lemma 5's soundness bound.
+    Accepts either the legacy ``(field, n, t, ...)`` convention or a
+    ready :class:`~repro.protocols.context.ProtocolContext` (as ``field``
+    or via ``context=``).  ``cheat_polys`` lets a test substitute the
+    dealer's polynomials (e.g. degree > t) to exercise Lemma 5's
+    soundness bound.
     """
-    rng = random.Random(seed)
+    from repro.protocols.context import as_context
+
+    ctx = context if context is not None else as_context(field, n, t, seed=seed)
+    field, n, t, rng = ctx.field, ctx.n, ctx.t, ctx.rng
     total = M + (1 if blinding else 0)
     polys = cheat_polys
     if polys is None:
         polys = [Polynomial.random(field, t, rng) for _ in range(total)]
     _, coin_shares = make_dealer_coin(field, n, t, "bitgen-challenge", rng)
 
-    network = SynchronousNetwork(n, field=field, allow_broadcast=False)
+    network = ctx.network(allow_broadcast=False)
     programs = {}
     faulty_programs = faulty_programs or {}
     for pid in range(1, n + 1):
@@ -182,4 +191,5 @@ def run_bit_gen(
         )
     honest = [pid for pid in programs if pid not in faulty_programs]
     outputs = network.run(programs, wait_for=honest)
+    ctx.absorb(network.metrics)
     return outputs, network.metrics

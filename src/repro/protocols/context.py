@@ -1,0 +1,145 @@
+"""ProtocolContext: the execution context every protocol runs under.
+
+Protocols used to thread ``field, n, t, rng, metrics, tracer`` by hand
+through every runner and player factory.  A :class:`ProtocolContext`
+carries them (plus the runtime layers — scheduler and fault plane) as
+one object:
+
+* **field, n, t** — the system parameters;
+* **rng** — the *single* seeded :class:`random.Random` a run's
+  randomness derives from.  Protocol bodies never construct their own
+  ``random.Random(seed)``; per-player generators come from
+  :meth:`player_rng` and fresh sub-generators from :meth:`child_rng`,
+  so an entire run is reproducible from one top-level seed;
+* **metrics** — the accumulating :class:`NetworkMetrics` for the
+  context's lifetime (individual runs get fresh per-run metrics that
+  are merged in);
+* **tracer** — an optional :class:`~repro.net.trace.Tracer` attached
+  through the runtime, so traces work identically under every scheduler;
+* **scheduler / faults** — the delivery policy and fault plane every
+  network built from this context uses.
+
+Build networks with :meth:`network` and the layers are wired through
+automatically::
+
+    ctx = ProtocolContext.create(field, n=7, t=1, seed=3,
+                                 scheduler=PermutedDeliveryScheduler(9))
+    net = ctx.network(allow_broadcast=False)
+    outputs = net.run(programs)
+    ctx.absorb(net.metrics)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from repro.fields.base import Field
+from repro.net.faults import FaultPlane
+from repro.net.metrics import NetworkMetrics
+from repro.net.scheduler import Scheduler
+from repro.net.simulator import SynchronousNetwork
+from repro.net.trace import Tracer
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a protocol execution needs, in one object."""
+
+    field: Field
+    n: int
+    t: int
+    seed: int = 0
+    rng: random.Random = None  # type: ignore[assignment]  # derived from seed
+    metrics: NetworkMetrics = None  # type: ignore[assignment]
+    tracer: Optional[Tracer] = None
+    scheduler: Optional[Scheduler] = None
+    faults: Optional[FaultPlane] = None
+    enforce_codec: bool = False
+    extra_network_kwargs: dict = dataclass_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("need at least one player")
+        if self.t < 0:
+            raise ValueError("t must be non-negative")
+        if self.rng is None:
+            self.rng = random.Random(self.seed)
+        if self.metrics is None:
+            self.metrics = NetworkMetrics(element_bits=self.field.bit_length)
+
+    @classmethod
+    def create(cls, field: Field, n: int, t: int, seed: int = 0,
+               **kwargs) -> "ProtocolContext":
+        """The usual entry point: parameters + one top-level seed."""
+        return cls(field=field, n=n, t=t, seed=seed, **kwargs)
+
+    # -- deterministic randomness -------------------------------------------
+    def player_rng(self, pid: int) -> random.Random:
+        """The per-player generator for player ``pid``.
+
+        Derived deterministically from the top-level seed (not from the
+        master ``rng`` stream, so it is independent of how much of that
+        stream the setup consumed).
+        """
+        return random.Random(self.seed * 1_000_003 + pid)
+
+    def child_rng(self) -> random.Random:
+        """A fresh generator drawn from the master stream.
+
+        For sub-executions that need randomness independent of player
+        identity (e.g. one generator per Coin-Gen run in a long-lived
+        system).  Consumes one draw from ``rng``, so derivation order is
+        part of the reproducible run.
+        """
+        return random.Random(self.rng.randrange(1 << 62))
+
+    # -- runtime construction -----------------------------------------------
+    def network(
+        self,
+        allow_broadcast: bool = True,
+        rushing=(),
+        metrics: Optional[NetworkMetrics] = None,
+        **kwargs,
+    ) -> SynchronousNetwork:
+        """A network for one protocol run, wired to this context's layers.
+
+        Each call gets a *fresh* per-run metrics object (pass
+        ``metrics=`` to override); merge it into the context's
+        accumulator with :meth:`absorb` when the run's tallies should
+        count toward the context's lifetime totals.
+        """
+        options = {**self.extra_network_kwargs, **kwargs}
+        return SynchronousNetwork(
+            self.n,
+            field=self.field,
+            metrics=metrics,
+            rushing=rushing,
+            allow_broadcast=allow_broadcast,
+            scheduler=self.scheduler,
+            faults=self.faults,
+            tracer=self.tracer,
+            enforce_codec=self.enforce_codec,
+            **options,
+        )
+
+    def absorb(self, run_metrics: NetworkMetrics) -> None:
+        """Accumulate one run's tallies into the context's totals."""
+        if run_metrics is not self.metrics:
+            self.metrics.merged_from(run_metrics)
+
+
+def as_context(field_or_ctx, n: Optional[int] = None, t: Optional[int] = None,
+               seed: int = 0, **kwargs) -> ProtocolContext:
+    """Normalize the two calling conventions runners accept.
+
+    Legacy call sites pass ``(field, n, t, seed=...)``; context-native
+    call sites pass a ready :class:`ProtocolContext`.  Returns the
+    context either way.
+    """
+    if isinstance(field_or_ctx, ProtocolContext):
+        return field_or_ctx
+    if n is None or t is None:
+        raise TypeError("need n and t when not passing a ProtocolContext")
+    return ProtocolContext.create(field_or_ctx, n, t, seed=seed, **kwargs)

@@ -28,16 +28,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.fields.base import Element, Field
 from repro.net.metrics import NetworkMetrics
-from repro.net.simulator import SynchronousNetwork, unicast
+from repro.net.simulator import unicast
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
 from repro.protocols.coin_expose import CoinShare
 from repro.protocols.coin_gen import DealingAgreement, dealing_agreement_program
 from repro.protocols.common import filter_tag, valid_element_tuple
 from repro.sharing.shamir import ShamirScheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.context import ProtocolContext
 
 
 @dataclass
@@ -165,27 +168,36 @@ def _decode_at(field: Field, points, t: int, x0) -> Optional[Element]:
 
 
 def run_recovery(
-    field: Field,
-    n: int,
-    t: int,
-    recovering: int,
-    coin_table: Dict[int, List[CoinShare]],
+    field,
+    n: Optional[int] = None,
+    t: Optional[int] = None,
+    recovering: int = 1,
+    coin_table: Optional[Dict[int, List[CoinShare]]] = None,
     seed: int = 0,
     max_iterations: Optional[int] = None,
     faulty_programs: Optional[Dict[int, Generator]] = None,
     tag: str = "recover",
+    context: Optional["ProtocolContext"] = None,
 ) -> Tuple[Dict[int, RecoveryOutput], NetworkMetrics]:
-    """Run one recovery for ``recovering`` over ``coin_table``."""
-    from repro.protocols.coin_gen import make_seed_coins
+    """Run one recovery for ``recovering`` over ``coin_table``.
 
-    rng = random.Random(seed)
+    Accepts either the legacy ``(field, n, t, ...)`` convention or a
+    ready :class:`~repro.protocols.context.ProtocolContext`.
+    """
+    from repro.protocols.coin_gen import make_seed_coins
+    from repro.protocols.context import as_context
+
+    if coin_table is None:
+        raise TypeError("run_recovery requires a coin_table")
+    ctx = context if context is not None else as_context(field, n, t, seed=seed)
+    field, n, t, rng = ctx.field, ctx.n, ctx.t, ctx.rng
     if max_iterations is None:
         max_iterations = 2 * t + 4
     seed_coins = make_seed_coins(
         field, n, t, 1 + max_iterations, rng, prefix=f"{tag}-seed"
     )
 
-    network = SynchronousNetwork(n, field=field, allow_broadcast=False)
+    network = ctx.network(allow_broadcast=False)
     programs = {}
     faulty_programs = faulty_programs or {}
     for pid in range(1, n + 1):
@@ -201,9 +213,10 @@ def run_recovery(
             recovering,
             coin_table[pid],
             seed_coins[pid],
-            random.Random(seed * 104_729 + pid),
+            ctx.player_rng(pid),
             tag=tag,
         )
     honest = [pid for pid in programs if pid not in faulty_programs]
     outputs = network.run(programs, wait_for=honest)
+    ctx.absorb(network.metrics)
     return outputs, network.metrics

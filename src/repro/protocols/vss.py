@@ -30,9 +30,7 @@ Two acceptance modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Tuple
-
-import random
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
 from repro.fields.base import Element, Field
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
@@ -40,7 +38,9 @@ from repro.poly.lagrange import interpolate
 from repro.poly.polynomial import Polynomial
 from repro.net.simulator import Send, broadcast, unicast
 from repro.net.metrics import NetworkMetrics
-from repro.net.simulator import SynchronousNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.context import ProtocolContext
 from repro.sharing.shamir import ShamirScheme
 from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
 from repro.protocols.common import filter_tag, valid_element
@@ -131,9 +131,9 @@ def _check_degree(field, points, t, n, robust) -> bool:
 # ---------------------------------------------------------------------------
 
 def run_vss(
-    field: Field,
-    n: int,
-    t: int,
+    field,
+    n: Optional[int] = None,
+    t: Optional[int] = None,
     dealer: int = 1,
     secret: Optional[Element] = None,
     seed: int = 0,
@@ -142,6 +142,7 @@ def run_vss(
     cheat_g: Optional[Polynomial] = None,
     robust: bool = False,
     faulty_programs: Optional[Dict[int, Generator]] = None,
+    context: Optional["ProtocolContext"] = None,
 ) -> Tuple[Dict[int, VSSResult], NetworkMetrics]:
     """Run Protocol VSS end to end on a fresh synchronous network.
 
@@ -152,7 +153,10 @@ def run_vss(
     one guessed challenge value); ``cheat_g`` substitutes the dealer's
     companion polynomial.  Returns per-player results and metrics.
     """
-    rng = random.Random(seed)
+    from repro.protocols.context import as_context
+
+    ctx = context if context is not None else as_context(field, n, t, seed=seed)
+    field, n, t, rng = ctx.field, ctx.n, ctx.t, ctx.rng
     scheme = ShamirScheme(field, n, t)
     if secret is None:
         secret = field.random(rng)
@@ -166,7 +170,7 @@ def run_vss(
     g_poly = cheat_g if cheat_g is not None else Polynomial.random(field, t, rng)
     _, coin_shares = make_dealer_coin(field, n, t, "vss-challenge", rng)
 
-    network = SynchronousNetwork(n, field=field)
+    network = ctx.network()
     programs = {}
     faulty_programs = faulty_programs or {}
     for pid in range(1, n + 1):
@@ -187,4 +191,5 @@ def run_vss(
         )
     honest = [pid for pid in programs if pid not in faulty_programs]
     outputs = network.run(programs, wait_for=honest)
+    ctx.absorb(network.metrics)
     return outputs, network.metrics

@@ -25,14 +25,16 @@ coin pipeline prefers the n-t criterion plus robust reconstruction.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
 from repro.fields.base import Element, Field
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
 from repro.net.metrics import NetworkMetrics
-from repro.net.simulator import SynchronousNetwork, broadcast, unicast
+from repro.net.simulator import broadcast, unicast
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.context import ProtocolContext
 from repro.sharing.shamir import ShamirScheme
 from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
 from repro.protocols.common import filter_tag, valid_element
@@ -166,14 +168,15 @@ def vss_complaints_program(
 
 
 def run_vss_with_complaints(
-    field: Field,
-    n: int,
-    t: int,
+    field,
+    n: Optional[int] = None,
+    t: Optional[int] = None,
     secret: Optional[Element] = None,
     seed: int = 0,
     cheat_shares: Optional[Dict[int, Element]] = None,
     dealer_answers: bool = True,
     faulty_programs: Optional[Dict[int, Generator]] = None,
+    context: Optional["ProtocolContext"] = None,
 ) -> Tuple[Dict[int, ComplaintVSSResult], NetworkMetrics]:
     """Run the complaint-resolving VSS end to end (dealer = player 1).
 
@@ -182,8 +185,10 @@ def run_vss_with_complaints(
     models a dealer that refuses resolution (everyone must reject).
     """
     from repro.poly.polynomial import Polynomial
+    from repro.protocols.context import as_context
 
-    rng = random.Random(seed)
+    ctx = context if context is not None else as_context(field, n, t, seed=seed)
+    field, n, t, rng = ctx.field, ctx.n, ctx.t, ctx.rng
     scheme = ShamirScheme(field, n, t)
     if secret is None:
         secret = field.random(rng)
@@ -208,7 +213,7 @@ def run_vss_with_complaints(
         while True:
             yield []  # never resolves
 
-    network = SynchronousNetwork(n, field=field)
+    network = ctx.network()
     programs = {}
     faulty_programs = faulty_programs or {}
     for pid in range(1, n + 1):
@@ -229,4 +234,5 @@ def run_vss_with_complaints(
         if pid not in faulty_programs and (dealer_answers or pid != 1)
     ]
     outputs = network.run(programs, wait_for=honest)
+    ctx.absorb(network.metrics)
     return outputs, network.metrics

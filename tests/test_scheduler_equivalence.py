@@ -1,0 +1,119 @@
+"""Scheduler-equivalence property: delivery order cannot matter.
+
+In the synchronous model a round's inbox is a *set* of messages — honest
+protocol code never depends on arrival order within a round.  The
+runtime makes that a testable property: an honest run under the
+:class:`LockstepScheduler` and under a :class:`PermutedDeliveryScheduler`
+with any seed must produce identical per-player outputs *and* identical
+metered costs (the Lemma 2/4/6 quantities: rounds, messages, bits, and
+per-player field-operation counts).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import GF2k
+from repro.net import PermutedDeliveryScheduler
+from repro.protocols.batch_vss import run_batch_vss
+from repro.protocols.bit_gen import run_bit_gen
+from repro.protocols.coin_gen import run_coin_gen
+from repro.protocols.context import ProtocolContext
+from repro.core.bootstrap import BootstrapCoinSource
+
+
+def metered_costs(metrics):
+    """The cost quantities the paper's lemmas count, as a comparable value."""
+    return (
+        metrics.rounds,
+        metrics.unicast_messages,
+        metrics.broadcast_messages,
+        metrics.bits,
+        {
+            pid: (ops.adds, ops.muls, ops.invs, ops.interpolations)
+            for pid, ops in sorted(metrics.player_ops.items())
+        },
+    )
+
+
+def outputs_equal(a, b):
+    """Per-player outputs identical (dataclass/dict equality is
+    insensitive to dict insertion order, which legitimately follows
+    delivery order within a round)."""
+    return set(a) == set(b) and all(a[pid] == b[pid] for pid in a)
+
+
+FIELD = GF2k(8)
+
+
+@given(
+    sched_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    run_seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=12)
+def test_batch_vss_equivalence(sched_seed, run_seed):
+    """Batch-VSS: outputs and Lemma 2 costs match under both schedulers."""
+    # warm the shared interpolation cache so neither measured run pays
+    # the one-time weight-building cost (see poly/barycentric.py)
+    run_batch_vss(FIELD, 7, 1, M=3, seed=run_seed, blinding=True)
+    lock_out, lock_metrics = run_batch_vss(
+        FIELD, 7, 1, M=3, seed=run_seed, blinding=True
+    )
+    ctx = ProtocolContext.create(
+        FIELD, 7, 1, seed=run_seed,
+        scheduler=PermutedDeliveryScheduler(seed=sched_seed),
+    )
+    perm_out, perm_metrics = run_batch_vss(ctx, M=3, blinding=True)
+    assert outputs_equal(lock_out, perm_out)
+    assert metered_costs(lock_metrics) == metered_costs(perm_metrics)
+
+
+@given(
+    sched_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    run_seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=12)
+def test_bit_gen_equivalence(sched_seed, run_seed):
+    """Bit-Gen: outputs and Lemma 6 costs match under both schedulers."""
+    run_bit_gen(FIELD, 7, 1, M=2, seed=run_seed)  # warm interpolation cache
+    lock_out, lock_metrics = run_bit_gen(FIELD, 7, 1, M=2, seed=run_seed)
+    ctx = ProtocolContext.create(
+        FIELD, 7, 1, seed=run_seed,
+        scheduler=PermutedDeliveryScheduler(seed=sched_seed),
+    )
+    perm_out, perm_metrics = run_bit_gen(ctx, M=2)
+    assert outputs_equal(lock_out, perm_out)
+    assert metered_costs(lock_metrics) == metered_costs(perm_metrics)
+
+
+@given(sched_seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=6)
+def test_coin_gen_equivalence(sched_seed):
+    """Full Coin-Gen: same clique, coins, and costs under both schedulers."""
+    run_coin_gen(FIELD, 7, 1, M=2, seed=3)  # warm interpolation cache
+    lock_out, lock_metrics = run_coin_gen(FIELD, 7, 1, M=2, seed=3)
+    ctx = ProtocolContext.create(
+        FIELD, 7, 1, seed=3,
+        scheduler=PermutedDeliveryScheduler(seed=sched_seed),
+    )
+    perm_out, perm_metrics = run_coin_gen(ctx, M=2)
+    assert outputs_equal(lock_out, perm_out)
+    assert metered_costs(lock_metrics) == metered_costs(perm_metrics)
+
+
+@given(sched_seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=4)
+def test_dprbg_stretch_equivalence(sched_seed):
+    """A full D-PRBG stretch + exposures is scheduler-independent."""
+    def run(scheduler):
+        ctx = ProtocolContext.create(
+            FIELD, 7, 1, seed=5, scheduler=scheduler
+        )
+        source = BootstrapCoinSource(context=ctx, batch_size=4)
+        bits = source.tosses(6)
+        return bits, metered_costs(source.system.total_metrics)
+
+    run(None)  # warm interpolation cache
+    lock_bits, lock_costs = run(None)
+    perm_bits, perm_costs = run(PermutedDeliveryScheduler(seed=sched_seed))
+    assert lock_bits == perm_bits
+    assert lock_costs == perm_costs
