@@ -112,10 +112,35 @@ def bench_batch_vss(results, smoke):
         )
 
 
+def coin_gen_conformance(n, t, M, field):
+    """One *instrumented* Coin-Gen (separate from the timed runs): the
+    per-phase wall/message breakdown plus the lemma-conformance audit."""
+    from repro.obs import SpanRecorder
+    from repro.obs.audit import audit_coin_gen
+    from repro.protocols.context import ProtocolContext
+
+    recorder = SpanRecorder()
+    ctx = ProtocolContext.create(field, n, t, seed=5, recorder=recorder)
+    out, _ = run_coin_gen(ctx, M=M)
+    assert all(o.success for o in out.values())
+    phases = [
+        {
+            "phase": span.attrs["phase"],
+            "rounds": span.attrs["rounds"],
+            "messages": span.attrs["messages"],
+            "bits": span.attrs["bits"],
+            "wall_s": span.duration,
+        }
+        for span in recorder.phase_spans()
+    ]
+    return phases, audit_coin_gen(recorder).to_dict()
+
+
 def bench_coin_gen(results, smoke):
     configs = [(7, 1, 8)] if smoke else [(7, 1, 16), (13, 2, 64)]
     field = GF2k(32)
     for n, t, M in configs:
+        phases, conformance = coin_gen_conformance(n, t, M, field)
         for mode in MODES:
             with interpolation_mode(mode):
                 wall, (out, _) = timed(
@@ -131,6 +156,8 @@ def bench_coin_gen(results, smoke):
                     "mode": mode,
                     "wall_s": wall,
                     "ops_per_s": M / wall if wall > 0 else None,
+                    "phases": phases,
+                    "conformance": conformance,
                 }
             )
 

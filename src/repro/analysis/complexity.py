@@ -182,6 +182,74 @@ def coin_gen_expected_iterations(n: int, t: int) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Per-phase renderings of Theorem 2's round accounting
+# ---------------------------------------------------------------------------
+# The lemmas state totals; the observability auditor (repro.obs.audit)
+# needs them *per phase* of the Fig. 5 pipeline, rendered to the
+# simulator's point-to-point expansion (a multicast to n players is n
+# unicast messages — the Section 4 model has no broadcast channel).
+# These are exact counts for a fault-free run, not O(.) bounds.
+
+def coin_gen_phase_messages(n: int, t: int, iterations: int = 1) -> dict:
+    """Exact unicast messages per Fig. 5 phase, fault-free run.
+
+    * ``deal`` — step 1: every player unicasts a share tuple to every
+      player: n^2 messages (Theorem 2's "n messages of size Mnk" under
+      per-edge expansion);
+    * ``expose`` — step 2's shared batching challenge plus one leader
+      coin per iteration (steps 9): each is one Coin-Expose round of n
+      multicasts = n^2 messages;
+    * ``clique`` — step 3: every player multicasts its combination
+      vector: n^2 messages ("n^2 messages of size kn");
+    * ``gradecast`` — step 7: three multicast rounds (value, echo,
+      re-echo): 3 n^2;
+    * ``ba`` — step 10: phase-king over t+1 phases per iteration; each
+      phase is one all-to-all vote round (n^2) plus one king multicast
+      (n).
+    """
+    return {
+        "deal": n * n,
+        "expose": (1 + iterations) * n * n,
+        "clique": n * n,
+        "gradecast": 3 * n * n,
+        "ba": iterations * (t + 1) * (n * n + n),
+    }
+
+
+def coin_gen_phase_interpolations(n: int, iterations: int = 1) -> dict:
+    """Exact per-player polynomial interpolations per Fig. 5 phase.
+
+    Theorem 2's ``n + 1`` per-player interpolations (plus one per extra
+    BA iteration) break down as: one Berlekamp-Welch decode per exposed
+    seed coin (the challenge and each leader coin, attributed to
+    ``expose``) and one decode per Bit-Gen instance when the combination
+    vectors are reconciled (attributed to ``clique``).  Dealing,
+    grade-cast, and BA perform none.
+    """
+    return {
+        "deal": 0,
+        "expose": 1 + iterations,
+        "clique": n,
+        "gradecast": 0,
+        "ba": 0,
+    }
+
+
+def expose_messages(senders_total: int, n: int) -> int:
+    """Coin-Expose (Fig. 6) messages: every holder multicasts its share.
+
+    ``senders_total`` sums the qualified-sender set sizes over the coins
+    exposed together (Section 3.1: "|S| * n messages of size k").
+    """
+    return senders_total * n
+
+
+def expose_interpolations(coins: int) -> int:
+    """One decode per exposed coin per player (Theorem 1)."""
+    return coins
+
+
+# ---------------------------------------------------------------------------
 # Section 1.4 — competitors
 # ---------------------------------------------------------------------------
 

@@ -2,13 +2,22 @@
 
 Commands
 --------
-``toss``    generate shared coin bits or k-ary coins from a bootstrapped
-            source and print them;
-``costs``   print the paper's cost formulas evaluated at given parameters
-            (the lemma-by-lemma cheat sheet);
-``vss``     run Protocol VSS once, honest or cheating, and report the
-            unanimous verdict plus measured costs;
-``beacon``  run a randomness beacon for a number of ticks.
+``toss``     generate shared coin bits or k-ary coins from a bootstrapped
+             source and print them;
+``costs``    print the paper's cost formulas evaluated at given parameters
+             (the lemma-by-lemma cheat sheet);
+``vss``      run Protocol VSS once, honest or cheating, and report the
+             unanimous verdict plus measured costs;
+``beacon``   run a randomness beacon for a number of ticks;
+``trace``    run one instrumented Coin-Gen, print the per-phase breakdown
+             and the lemma-conformance audit;
+``metrics``  run one instrumented Coin-Gen and print the Prometheus text
+             exposition.
+
+``toss``, ``trace``, and ``metrics`` accept ``--export chrome|jsonl|prom``
+(+ ``--export-out PATH``) to write the recorded spans as a Chrome
+trace-event JSON (open with Perfetto), newline-delimited JSON, or a
+Prometheus exposition.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from repro.analysis import complexity as cx
 from repro.core import BootstrapCoinSource
 from repro.fields import GF2k
 from repro.net import PermutedDeliveryScheduler
+from repro.obs import SpanRecorder, to_chrome_trace, to_jsonl, to_prometheus
 from repro.protocols.context import ProtocolContext
 from repro.protocols.vss import run_vss
 
@@ -39,31 +49,82 @@ def _add_system_arguments(parser: argparse.ArgumentParser, default_n: int = 7,
                         help="seed for the permuted scheduler")
 
 
+def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--export", choices=("chrome", "jsonl", "prom"),
+                        default=None,
+                        help="write recorded spans: Chrome trace-event JSON "
+                             "(Perfetto), JSONL, or Prometheus text")
+    parser.add_argument("--export-out", default=None, metavar="PATH",
+                        help="export file (defaults to trace.json / "
+                             "trace.jsonl / metrics.prom)")
+
+
+_EXPORT_DEFAULTS = {"chrome": "trace.json", "jsonl": "trace.jsonl",
+                    "prom": "metrics.prom"}
+
+
 def _make_context(args: argparse.Namespace) -> ProtocolContext:
-    """The ProtocolContext the chosen CLI flags describe."""
+    """The ProtocolContext the chosen CLI flags describe.
+
+    Attaches a live :class:`SpanRecorder` when the command was invoked
+    with ``--export`` (observability stays zero-cost otherwise).
+    """
     scheduler = None
     if args.scheduler == "permuted":
         scheduler = PermutedDeliveryScheduler(seed=args.sched_seed)
+    recorder = (
+        SpanRecorder() if getattr(args, "export", None) is not None
+        else None
+    )
+    kwargs = {"recorder": recorder} if recorder is not None else {}
     return ProtocolContext.create(
-        GF2k(args.k), args.n, args.t, seed=args.seed, scheduler=scheduler
+        GF2k(args.k), args.n, args.t, seed=args.seed, scheduler=scheduler,
+        **kwargs,
     )
 
 
+def _write_export(args: argparse.Namespace, ctx: ProtocolContext) -> None:
+    """Write the recorder's spans in the format ``--export`` selected."""
+    if getattr(args, "export", None) is None:
+        return
+    recorder = ctx.recorder
+    if args.export == "chrome":
+        content = to_chrome_trace(recorder)
+    elif args.export == "jsonl":
+        content = to_jsonl(recorder)
+    else:
+        content = to_prometheus(metrics=ctx.metrics, recorder=recorder)
+    out = args.export_out or _EXPORT_DEFAULTS[args.export]
+    with open(out, "w") as handle:
+        handle.write(content)
+    print(f"wrote {args.export} export to {out}", file=sys.stderr)
+
+
 def _cmd_toss(args: argparse.Namespace) -> int:
-    source = BootstrapCoinSource(context=_make_context(args), batch_size=args.batch)
+    ctx = _make_context(args)
+    root = ctx.recorder.begin("toss", "root")
+    source = BootstrapCoinSource(context=ctx, batch_size=args.batch)
     if args.elements:
-        for _ in range(args.count):
-            width = (args.k + 3) // 4
-            print(f"0x{source.system.field.to_int(source.toss_element()):0{width}x}")
+        width = (args.k + 3) // 4
+        lines = [
+            f"0x{source.system.field.to_int(source.toss_element()):0{width}x}"
+            for _ in range(args.count)
+        ]
     else:
         bits = source.tosses(args.count)
-        for start in range(0, len(bits), 64):
-            print("".join(map(str, bits[start : start + 64])))
+        lines = [
+            "".join(map(str, bits[start : start + 64]))
+            for start in range(0, len(bits), 64)
+        ]
+    ctx.recorder.end(root)
+    for line in lines:
+        print(line)
     if args.stats:
         print()
         for key, value in source.amortized_cost_summary().items():
             print(f"{key:42s} {value:,.2f}" if isinstance(value, float)
                   else f"{key:42s} {value}")
+    _write_export(args, ctx)
     return 0
 
 
@@ -125,6 +186,63 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_instrumented_coin_gen(args: argparse.Namespace):
+    """One Coin-Gen + batch exposure under a live recorder."""
+    from repro.protocols.coin_gen import run_coin_gen, expose_coin
+
+    ctx = _make_context(args)
+    if not ctx.recorder.enabled:
+        # trace/metrics are pointless without a recorder: attach one even
+        # when no --export was requested (the terminal report needs it)
+        ctx.recorder = SpanRecorder()
+    outputs, _ = run_coin_gen(ctx, M=args.M, seed=args.seed)
+    if all(o.success for o in outputs.values()):
+        expose_coin(ctx, outputs=outputs, h=0)
+    return ctx, outputs
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.audit import audit_recorder
+
+    ctx, outputs = _run_instrumented_coin_gen(args)
+    recorder = ctx.recorder
+
+    print(f"Coin-Gen trace: n={ctx.n}, t={ctx.t}, k={args.k}, M={args.M}")
+    print()
+    print(f"{'phase':<12} {'rounds':>6} {'messages':>9} {'bits':>9} "
+          f"{'wall ms':>9}")
+    print("-" * 50)
+    for span in recorder.phase_spans():
+        print(f"{span.attrs['phase']:<12} {span.attrs['rounds']:>6} "
+              f"{span.attrs['messages']:>9} {span.attrs['bits']:>9} "
+              f"{span.duration * 1e3:>9.3f}")
+    print()
+    print(f"span coverage: {recorder.coverage():.1%}")
+
+    reports = audit_recorder(recorder)
+    all_ok = True
+    for report in reports:
+        all_ok = all_ok and report.ok
+        print()
+        print(f"conformance audit: {report.protocol} {report.params} -> "
+              f"{'OK' if report.ok else 'DEVIATION'}"
+              + (f" ({report.faults} faults observed)" if report.faults
+                 else ""))
+        print(report.table())
+
+    _write_export(args, ctx)
+    if args.audit and not all_ok:
+        return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    ctx, _ = _run_instrumented_coin_gen(args)
+    print(to_prometheus(metrics=ctx.metrics, recorder=ctx.recorder), end="")
+    _write_export(args, ctx)
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.verifier import report, verify_all
 
@@ -149,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit k-ary coins instead of bits")
     toss.add_argument("--stats", action="store_true",
                       help="print amortized cost summary")
+    _add_export_arguments(toss)
     toss.set_defaults(func=_cmd_toss)
 
     costs = sub.add_parser("costs", help="evaluate the paper's cost formulas")
@@ -175,6 +294,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_arguments(verify)
     verify.add_argument("--M", type=int, default=16, help="batch size")
     verify.set_defaults(func=_cmd_verify)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one instrumented Coin-Gen and audit it against the lemmas",
+    )
+    _add_system_arguments(trace)
+    trace.add_argument("--M", type=int, default=8, help="coins per batch")
+    trace.add_argument("--audit", action="store_true",
+                       help="exit non-zero if the conformance audit deviates")
+    _add_export_arguments(trace)
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one instrumented Coin-Gen and print Prometheus metrics",
+    )
+    _add_system_arguments(metrics)
+    metrics.add_argument("--M", type=int, default=8, help="coins per batch")
+    _add_export_arguments(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

@@ -77,9 +77,13 @@ class BootstrapCoinSource:
 
         # One-time trusted dealer (Rabin [17]); never used again after this.
         dealer = TrustedDealer(field, n, t, seed=seed + 1)
-        self._seed_coins: List[SharedCoin] = dealer.deal_seed(
-            self.dprbg.seed_requirement
-        )
+        with self.system.context.recorder.span(
+            "trusted_dealer", "protocol",
+            n=n, coins=self.dprbg.seed_requirement,
+        ):
+            self._seed_coins: List[SharedCoin] = dealer.deal_seed(
+                self.dprbg.seed_requirement
+            )
         self.initial_seed_size = len(self._seed_coins)
 
         self.pool: List[SharedCoin] = []

@@ -157,7 +157,20 @@ class SharedCoinSystem:
                 shared_challenge=shared_challenge,
             )
         honest = [pid for pid in programs if pid not in faulty]
-        outputs: Dict[int, CoinGenOutput] = network.run(programs, wait_for=honest)
+        recorder = self.context.recorder
+        with recorder.span("coin_gen", "protocol",
+                           n=self.n, t=self.t, M=M) as span:
+            outputs: Dict[int, CoinGenOutput] = network.run(
+                programs, wait_for=honest
+            )
+            if recorder.enabled:
+                sample = next(
+                    (outputs[pid] for pid in honest if outputs.get(pid)), None
+                )
+                span.set(
+                    iterations=sample.iterations if sample else 0,
+                    success=bool(sample and sample.success),
+                )
         self.total_metrics.merged_from(network.metrics)
 
         honest_outputs = {pid: outputs[pid] for pid in honest}
@@ -226,7 +239,19 @@ class SharedCoinSystem:
                 self.field, pid, [coin.share_for(pid) for coin in coins]
             )
         honest = [pid for pid in programs if pid not in faulty]
-        outputs = network.run(programs, wait_for=honest)
+        recorder = self.context.recorder
+        senders_total = 0
+        if recorder.enabled:
+            senders_total = sum(
+                1
+                for coin in coins
+                for pid in honest
+                if pid in coin.share_for(pid).senders
+                and coin.share_for(pid).my_value is not None
+            )
+        with recorder.span("expose", "protocol", n=self.n, coins=len(coins),
+                           senders_total=senders_total):
+            outputs = network.run(programs, wait_for=honest)
         self.total_metrics.merged_from(network.metrics)
 
         results = []

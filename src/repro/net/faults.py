@@ -82,6 +82,8 @@ class FaultPlane:
         self.silences: Dict[int, frozenset] = {}
         # pending delayed deliveries: due round -> deliveries
         self._delayed: Dict[int, List[RoutedDelivery]] = {}
+        #: event bus to publish "fault" events into; set by the runtime
+        self.bus = None
 
     # -- rule registration (chainable) --------------------------------------
     def drop(
@@ -143,10 +145,21 @@ class FaultPlane:
     def is_silenced(self, pid: int, round_no: int) -> bool:
         return round_no in self.silences.get(pid, frozenset())
 
+    def _publish(self, round_no: int, kind: str, src: int, dst: int) -> None:
+        if self.bus is not None:
+            from repro.obs.bus import FAULT
+
+            self.bus.publish(FAULT, round_no, kind, src, dst)
+
     def apply(
         self, round_no: int, deliveries: List[RoutedDelivery]
     ) -> List[RoutedDelivery]:
-        """Rewrite one round's deliveries; releases matured delayed traffic."""
+        """Rewrite one round's deliveries; releases matured delayed traffic.
+
+        Every rewrite is published as a ``"fault"`` event on the
+        runtime's bus (when attached), so trace/span subscribers can
+        record exactly which deliveries the plane touched.
+        """
         out: List[RoutedDelivery] = []
         for delivery in deliveries:
             dst, src, _payload = delivery
@@ -156,11 +169,14 @@ class FaultPlane:
             if rule is None:
                 out.append(delivery)
             elif rule.kind == DROP:
+                self._publish(round_no, DROP, src, dst)
                 continue
             elif rule.kind == DUPLICATE:
+                self._publish(round_no, DUPLICATE, src, dst)
                 out.append(delivery)
                 out.append(delivery)
             elif rule.kind == DELAY:
+                self._publish(round_no, DELAY, src, dst)
                 self._delayed.setdefault(round_no + rule.delay, []).append(
                     delivery
                 )

@@ -21,6 +21,7 @@ fan-out is tallied separately so both accountings are available.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Dict
 
@@ -42,6 +43,14 @@ def payload_field_elements(payload: Any) -> int:
         )
     if isinstance(payload, (tuple, list, set, frozenset)):
         return sum(payload_field_elements(item) for item in payload)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        # explicit field walk: ``__slots__`` dataclasses have no
+        # ``__dict__``, so the vars() fallback below would count them
+        # as empty and under-report bits
+        return sum(
+            payload_field_elements(getattr(payload, f.name))
+            for f in dataclasses.fields(payload)
+        )
     if hasattr(payload, "__dict__"):
         return payload_field_elements(vars(payload))
     return 0
@@ -89,10 +98,20 @@ class NetworkMetrics:
         return self.player_ops.get(player_id, OpCounter())
 
     def max_player_ops(self) -> OpCounter:
-        """The busiest player's counter — the paper's "per player" cost."""
+        """The busiest player's counter — the paper's "per player" cost.
+
+        Ordered by total work across *all* op kinds: a player whose load
+        is dominated by inversions or interpolations (each worth many
+        additions, see :meth:`OpCounter.total_additions`) must not be
+        reported as idle just because its add/mul tally is smaller.
+        """
         best = OpCounter()
         for counter in self.player_ops.values():
-            if counter.adds + counter.muls >= best.adds + best.muls:
+            if (
+                counter.adds + counter.muls
+                + counter.invs + counter.interpolations
+                >= best.adds + best.muls + best.invs + best.interpolations
+            ):
                 best = counter
         return best
 

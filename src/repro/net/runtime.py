@@ -27,16 +27,24 @@ from repro.fields.base import Field
 from repro.net.faults import FaultPlane
 from repro.net.metrics import NetworkMetrics
 from repro.net.scheduler import LockstepScheduler, Scheduler
+from repro.net.trace import payload_tag
 from repro.net.transport import (
     ProtocolViolation,
     Send,
     Transport,
     make_transport,
 )
+from repro.obs.bus import FAULT, ROUND, EventBus
+from repro.obs.phases import classify_tags
+from repro.obs.spans import NULL_RECORDER
+
+from repro.fields.base import OpCounter
 
 Payload = Any
 Inbox = Dict[int, List[Payload]]
 Program = Generator[List[Send], Inbox, Any]
+
+_ZERO_OPS = OpCounter()
 
 
 class ProtocolRuntime:
@@ -68,6 +76,15 @@ class ProtocolRuntime:
         is chained after ``observer``.  Attaching here (rather than
         wrapping the network) makes traces identical under every
         scheduler.
+    recorder:
+        Optional span recorder (:class:`repro.obs.spans.SpanRecorder`).
+        Defaults to the no-op :data:`repro.obs.spans.NULL_RECORDER`, in
+        which case all instrumentation is skipped (zero cost).
+    bus:
+        Optional :class:`repro.obs.bus.EventBus`.  One is created per
+        runtime if not given.  ``observer`` and ``tracer`` are wired as
+        subscribers of its ``"round"`` topic; the fault plane publishes
+        ``"fault"`` events into it.
     """
 
     def __init__(
@@ -81,6 +98,8 @@ class ProtocolRuntime:
         max_rounds: int = 100_000,
         observer=None,
         tracer=None,
+        recorder=None,
+        bus: Optional[EventBus] = None,
     ):
         if n < 1:
             raise ValueError("need at least one player")
@@ -95,6 +114,18 @@ class ProtocolRuntime:
         self.max_rounds = max_rounds
         self.observer = observer
         self.tracer = tracer
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.bus = bus if bus is not None else EventBus()
+        if observer is not None:
+            self.bus.subscribe(ROUND, observer)
+        if tracer is not None:
+            self.bus.subscribe(ROUND, tracer.observe)
+        if self.recorder.enabled:
+            self.bus.subscribe(FAULT, self.recorder.on_fault)
+        if self.faults is not None:
+            self.faults.bus = self.bus
+        #: player-step spans of the in-flight round (phase backfilled)
+        self._step_spans: List[Any] = []
 
     # -- compatibility properties -------------------------------------------
     @property
@@ -119,13 +150,20 @@ class ProtocolRuntime:
         return self.transport.expand(src, sends)
 
     def _advance(self, pid: int, program: Program, inbox: Optional[Inbox],
-                 outputs: Dict[int, Any], done: Dict[int, bool]):
+                 outputs: Dict[int, Any], done: Dict[int, bool],
+                 round_no: int = 0):
         """Step one program; returns its sends (or None when finished).
 
         ``inbox=None`` primes a not-yet-started generator with ``next``.
+        When a recorder is attached and this is a real round (not a
+        rushing registration step), the step is recorded as a "player"
+        span carrying the player's op-count delta.
         """
         if done.get(pid):
             return None
+        recorder = self.recorder
+        recording = recorder.enabled and round_no > 0
+        t0 = recorder.clock() if recording else 0.0
         before = self.field.counter.snapshot() if self.field is not None else None
         try:
             if inbox is None:
@@ -137,9 +175,19 @@ class ProtocolRuntime:
             outputs[pid] = stop.value
             sends = None
         finally:
+            delta = None
             if before is not None:
                 delta = self.field.counter.delta(before)
                 self.metrics.add_player_ops(pid, delta)
+            if recording:
+                ops = delta if delta is not None else _ZERO_OPS
+                span = recorder.record(
+                    f"player {pid}", "player", t0, recorder.clock(),
+                    player=pid, round=round_no,
+                    adds=ops.adds, muls=ops.muls, invs=ops.invs,
+                    interpolations=ops.interpolations,
+                )
+                self._step_spans.append(span)
         return sends
 
     def _collect(self, pid: int, program: Program, inbox, round_no: int,
@@ -148,7 +196,7 @@ class ProtocolRuntime:
         faults = self.faults
         if faults is not None and faults.is_crashed(pid, round_no):
             return
-        sends = self._advance(pid, program, inbox, outputs, done)
+        sends = self._advance(pid, program, inbox, outputs, done, round_no)
         if sends and not (
             faults is not None and faults.is_silenced(pid, round_no)
         ):
@@ -193,11 +241,25 @@ class ProtocolRuntime:
         for pid in rushers:
             self._advance(pid, programs[pid], None, outputs, done)
 
+        recorder = self.recorder
+        recording = recorder.enabled
+        # phase of the deliveries currently sitting in the inboxes — the
+        # work a round does is attributed to the phase it is *consuming*
+        inbox_phase: Optional[str] = None
+
         for _ in range(self.max_rounds):
             if all(done[pid] for pid in waited):
                 break
             self.metrics.rounds += 1
             round_no += 1
+            if recording:
+                round_span = recorder.begin(
+                    f"round {round_no}", "round", round=round_no
+                )
+                snap_unicast = self.metrics.unicast_messages
+                snap_broadcast = self.metrics.broadcast_messages
+                snap_bits = self.metrics.bits
+                self._step_spans = []
             deliveries: List[tuple] = []  # (dst, src, payload)
 
             for pid in ordinary:
@@ -223,14 +285,41 @@ class ProtocolRuntime:
                     deliveries,
                 )
 
+            if recording:
+                # tag tallies are taken pre-fault: they count what honest
+                # code paid to send, matching the metrics accounting
+                tag_counts: Dict[str, int] = {}
+                for _dst, _src, payload in deliveries:
+                    tag = payload_tag(payload)
+                    tag_counts[tag] = tag_counts.get(tag, 0) + 1
+
             if self.faults is not None:
                 deliveries = self.faults.apply(round_no, deliveries)
             deliveries = self.scheduler.arrange(round_no, deliveries)
 
-            if self.observer is not None:
-                self.observer(self.metrics.rounds, deliveries)
-            if self.tracer is not None:
-                self.tracer.observe(self.metrics.rounds, deliveries)
+            self.bus.publish(ROUND, self.metrics.rounds, deliveries)
+
+            if recording:
+                phase = (
+                    inbox_phase if inbox_phase is not None
+                    else classify_tags(tag_counts)
+                )
+                for step_span in self._step_spans:
+                    step_span.set(phase=phase)
+                recorder.end(
+                    round_span,
+                    phase=phase,
+                    messages=(
+                        self.metrics.unicast_messages - snap_unicast
+                        + self.metrics.broadcast_messages - snap_broadcast
+                    ),
+                    unicast=self.metrics.unicast_messages - snap_unicast,
+                    broadcast=self.metrics.broadcast_messages - snap_broadcast,
+                    bits=self.metrics.bits - snap_bits,
+                    tags=tag_counts,
+                )
+                if tag_counts:
+                    inbox_phase = classify_tags(tag_counts)
             started = True
             inboxes = {pid: {} for pid in programs}
             for dst, src, payload in deliveries:

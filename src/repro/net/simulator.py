@@ -114,6 +114,8 @@ class SynchronousNetwork(ProtocolRuntime):
         scheduler: Optional[Scheduler] = None,
         faults: Optional[FaultPlane] = None,
         tracer=None,
+        recorder=None,
+        bus=None,
     ):
         metrics = metrics or NetworkMetrics(
             element_bits=field.bit_length if field is not None else 1
@@ -139,6 +141,8 @@ class SynchronousNetwork(ProtocolRuntime):
             max_rounds=max_rounds,
             observer=observer,
             tracer=tracer,
+            recorder=recorder,
+            bus=bus,
         )
 
 

@@ -1,0 +1,58 @@
+"""Observability: span tracing, exporters, and lemma-conformance auditing.
+
+The paper's contribution is a *cost* claim — ``O(n^2 log k)`` additions,
+``O(n)`` messages, one interpolation per batch (Lemmas 2/4/6,
+Corollary 1).  This package makes those costs observable on live runs:
+
+* :mod:`repro.obs.bus` — a small synchronous event bus the runtime
+  publishes round/fault events through; the existing
+  :class:`~repro.net.trace.Tracer` and legacy ``observer=`` hooks are
+  subscribers, and the :class:`~repro.net.faults.FaultPlane` is a
+  publisher;
+* :mod:`repro.obs.spans` — nested spans (protocol -> phase -> round ->
+  per-player step) carrying wall-clock time, an
+  :class:`~repro.fields.base.OpCounter` delta, and message/bit tallies
+  snapshotted from :class:`~repro.net.metrics.NetworkMetrics`.  The
+  default :data:`NULL_RECORDER` is a no-op, so instrumentation is free
+  unless a :class:`SpanRecorder` is attached;
+* :mod:`repro.obs.phases` — the tag -> protocol-phase registry (deal /
+  clique / gradecast / ba / expose) that protocol modules populate;
+* :mod:`repro.obs.export` — JSONL, Chrome trace-event (Perfetto), and
+  Prometheus text exporters;
+* :mod:`repro.obs.audit` — the lemma-conformance auditor comparing live
+  span tallies against :mod:`repro.analysis.complexity` predictions.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.spans import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+)
+from repro.obs.phases import classify_tag, classify_tags, register_tag_phase
+from repro.obs.export import to_chrome_trace, to_jsonl, to_prometheus
+from repro.obs.audit import (
+    ConformanceReport,
+    PhaseCheck,
+    audit_coin_gen,
+    audit_recorder,
+)
+
+__all__ = [
+    "EventBus",
+    "Span",
+    "SpanRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "classify_tag",
+    "classify_tags",
+    "register_tag_phase",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus",
+    "ConformanceReport",
+    "PhaseCheck",
+    "audit_coin_gen",
+    "audit_recorder",
+]

@@ -1,0 +1,52 @@
+"""A small synchronous event bus for runtime observability.
+
+The :class:`~repro.net.runtime.ProtocolRuntime` owns one bus per
+execution and publishes:
+
+* ``"round"``   — ``(round_number, deliveries)`` once per settled round,
+  after the fault plane and scheduler have decided what actually arrives
+  (this is the stream the :class:`~repro.net.trace.Tracer` and the legacy
+  ``observer=`` callback subscribe to);
+* ``"fault"``   — ``(round_number, kind, src, dst)`` from the
+  :class:`~repro.net.faults.FaultPlane`, once per rewritten delivery
+  (kind is ``"drop"``, ``"duplicate"``, or ``"delay"``).
+
+Handlers run synchronously in subscription order; a handler exception
+propagates (observability must never silently corrupt a run — failing
+loudly in a simulator is the right trade).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+Handler = Callable[..., Any]
+
+#: topic names published by the runtime stack
+ROUND = "round"
+FAULT = "fault"
+
+
+class EventBus:
+    """Topic -> ordered handler list; publish is a plain loop."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Handler]] = {}
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        """Append ``handler`` to ``topic``'s delivery list."""
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def unsubscribe(self, topic: str, handler: Handler) -> None:
+        """Remove a previously subscribed handler (no-op if absent)."""
+        handlers = self._subscribers.get(topic, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def publish(self, topic: str, *args: Any, **kwargs: Any) -> None:
+        """Invoke every subscriber of ``topic`` with the given payload."""
+        for handler in self._subscribers.get(topic, ()):
+            handler(*args, **kwargs)
+
+    def has_subscribers(self, topic: str) -> bool:
+        return bool(self._subscribers.get(topic))

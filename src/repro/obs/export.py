@@ -1,0 +1,189 @@
+"""Span exporters: JSONL, Chrome trace-event JSON, Prometheus text.
+
+* :func:`to_jsonl` — one span object per line; the lossless archival
+  format (every attribute is kept).
+* :func:`to_chrome_trace` — the Trace Event Format understood by
+  Perfetto / ``chrome://tracing``.  Lanes: protocol runs, synthesized
+  phases, rounds, and one lane per player, so the Fig. 5 pipeline reads
+  as a flame chart.
+* :func:`to_prometheus` — a text exposition of counters (rounds,
+  messages, bits, per-player ops) and span-duration histograms, suitable
+  for scraping or for diffing in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.net.metrics import NetworkMetrics
+from repro.obs.spans import Span, SpanRecorder
+
+#: Chrome trace lane ids (tid) per span kind; players get PLAYER_TID + pid
+PROTOCOL_TID = 0
+PHASE_TID = 1
+ROUND_TID = 2
+PLAYER_TID = 10
+
+
+def to_jsonl(recorder: SpanRecorder) -> str:
+    """All spans (incl. synthesized phases) as newline-delimited JSON."""
+    lines = [json.dumps(span.to_dict(), default=str)
+             for span in recorder.all_spans()]
+    for fault in recorder.faults:
+        lines.append(json.dumps({"kind": "fault", **fault}))
+    return "\n".join(lines) + "\n"
+
+
+def _trace_event(span: Span, origin: float) -> Dict:
+    if span.kind == "protocol" or span.kind == "root":
+        tid = PROTOCOL_TID
+    elif span.kind == "phase":
+        tid = PHASE_TID
+    elif span.kind == "round":
+        tid = ROUND_TID
+    elif span.kind == "player":
+        tid = PLAYER_TID + int(span.attrs.get("player", 0))
+    else:
+        tid = PROTOCOL_TID
+    args = {
+        key: value
+        for key, value in span.attrs.items()
+        if isinstance(value, (int, float, str, bool))
+    }
+    return {
+        "name": span.name,
+        "cat": span.kind,
+        "ph": "X",  # complete event: begin + duration in one record
+        "ts": (span.t0 - origin) * 1e6,
+        "dur": span.duration * 1e6,
+        "pid": 1,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def to_chrome_trace(recorder: SpanRecorder) -> str:
+    """Trace Event Format JSON (open with Perfetto or chrome://tracing)."""
+    spans = recorder.all_spans()
+    origin = min((s.t0 for s in spans), default=0.0)
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1,
+         "args": {"name": "repro"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": PROTOCOL_TID,
+         "args": {"name": "protocols"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": PHASE_TID,
+         "args": {"name": "phases"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": ROUND_TID,
+         "args": {"name": "rounds"}},
+    ]
+    players = sorted({
+        int(s.attrs["player"]) for s in spans
+        if s.kind == "player" and "player" in s.attrs
+    })
+    for pid in players:
+        events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                       "tid": PLAYER_TID + pid,
+                       "args": {"name": f"player {pid}"}})
+    events.extend(_trace_event(span, origin) for span in spans)
+    for fault in recorder.faults:
+        events.append({
+            "name": f"fault:{fault['kind']}",
+            "cat": "fault",
+            "ph": "i",  # instant event
+            "ts": 0,
+            "pid": 1,
+            "tid": ROUND_TID,
+            "s": "t",
+            "args": fault,
+        })
+    return json.dumps({"traceEvents": events,
+                       "displayTimeUnit": "ms"}, indent=1)
+
+
+_HISTOGRAM_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+def _histogram(lines: List[str], metric: str, labels: str,
+               durations: List[float]) -> None:
+    cumulative = 0
+    for bound in _HISTOGRAM_BUCKETS:
+        cumulative = sum(1 for d in durations if d <= bound)
+        sep = "," if labels else ""
+        lines.append(
+            f'{metric}_bucket{{{labels}{sep}le="{bound:g}"}} {cumulative}'
+        )
+    sep = "," if labels else ""
+    lines.append(f'{metric}_bucket{{{labels}{sep}le="+Inf"}} {len(durations)}')
+    lines.append(f"{metric}_sum{{{labels}}} {sum(durations):.9f}")
+    lines.append(f"{metric}_count{{{labels}}} {len(durations)}")
+
+
+def to_prometheus(
+    metrics: Optional[NetworkMetrics] = None,
+    recorder: Optional[SpanRecorder] = None,
+    prefix: str = "repro",
+) -> str:
+    """Prometheus text exposition of counters and span histograms."""
+    lines: List[str] = []
+    if metrics is not None:
+        lines.append(f"# TYPE {prefix}_rounds_total counter")
+        lines.append(f"{prefix}_rounds_total {metrics.rounds}")
+        lines.append(f"# TYPE {prefix}_messages_total counter")
+        lines.append(
+            f'{prefix}_messages_total{{channel="unicast"}} '
+            f"{metrics.unicast_messages}"
+        )
+        lines.append(
+            f'{prefix}_messages_total{{channel="broadcast"}} '
+            f"{metrics.broadcast_messages}"
+        )
+        lines.append(f"# TYPE {prefix}_bits_total counter")
+        lines.append(f"{prefix}_bits_total {metrics.bits}")
+        lines.append(f"# TYPE {prefix}_player_ops_total counter")
+        for pid in sorted(metrics.player_ops):
+            ops = metrics.player_ops[pid]
+            for op in ("adds", "muls", "invs", "interpolations"):
+                lines.append(
+                    f'{prefix}_player_ops_total{{player="{pid}",op="{op}"}} '
+                    f"{getattr(ops, op)}"
+                )
+    if recorder is not None:
+        lines.append(f"# TYPE {prefix}_span_duration_seconds histogram")
+        spans = recorder.all_spans()
+        for kind in ("protocol", "phase", "round", "player"):
+            durations = [s.duration for s in spans if s.kind == kind]
+            if durations:
+                _histogram(lines, f"{prefix}_span_duration_seconds",
+                           f'kind="{kind}"', durations)
+        lines.append(f"# TYPE {prefix}_phase_wall_seconds counter")
+        phase_wall: Dict[str, float] = {}
+        phase_msgs: Dict[str, int] = {}
+        for span in spans:
+            if span.kind == "phase":
+                phase = span.attrs.get("phase", "other")
+                phase_wall[phase] = phase_wall.get(phase, 0.0) + span.duration
+                phase_msgs[phase] = (
+                    phase_msgs.get(phase, 0) + span.attrs.get("messages", 0)
+                )
+        for phase in sorted(phase_wall):
+            lines.append(
+                f'{prefix}_phase_wall_seconds{{phase="{phase}"}} '
+                f"{phase_wall[phase]:.9f}"
+            )
+        lines.append(f"# TYPE {prefix}_phase_messages_total counter")
+        for phase in sorted(phase_msgs):
+            lines.append(
+                f'{prefix}_phase_messages_total{{phase="{phase}"}} '
+                f"{phase_msgs[phase]}"
+            )
+        if recorder.faults:
+            lines.append(f"# TYPE {prefix}_faults_total counter")
+            by_kind: Dict[str, int] = {}
+            for fault in recorder.faults:
+                by_kind[fault["kind"]] = by_kind.get(fault["kind"], 0) + 1
+            for kind in sorted(by_kind):
+                lines.append(
+                    f'{prefix}_faults_total{{kind="{kind}"}} {by_kind[kind]}'
+                )
+    return "\n".join(lines) + "\n"

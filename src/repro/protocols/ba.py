@@ -28,7 +28,12 @@ from __future__ import annotations
 from typing import Dict, Generator
 
 from repro.net.simulator import multicast
+from repro.obs.phases import register_tag_phase
 from repro.protocols.common import filter_tag
+
+# phase-king rounds: all-to-all votes, then the king's announcement
+register_tag_phase("ba", suffix="/vote")
+register_tag_phase("ba", suffix="/king")
 
 
 def _valid_bit(value) -> bool:

@@ -34,9 +34,12 @@ from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
 from repro.poly.polynomial import Polynomial, horner_batch
 from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import broadcast
+from repro.obs.phases import register_tag_phase
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.protocols.context import ProtocolContext
+
+register_tag_phase("clique", suffix="/nu")
 from repro.sharing.shamir import ShamirScheme
 from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
 from repro.protocols.common import filter_tag, valid_element
@@ -182,6 +185,7 @@ def run_batch_vss(
             accept_subset=accept_subset,
         )
     honest = [pid for pid in programs if pid not in faulty_programs]
-    outputs = network.run(programs, wait_for=honest)
+    with ctx.recorder.span("batch_vss", "protocol", n=n, t=t, M=M):
+        outputs = network.run(programs, wait_for=honest)
     ctx.absorb(network.metrics)
     return outputs, network.metrics

@@ -33,10 +33,14 @@ from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
 from repro.poly.polynomial import Polynomial, horner_batch
 from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import multicast, unicast
+from repro.obs.phases import register_tag_phase
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.protocols.context import ProtocolContext
 from repro.sharing.shamir import ShamirScheme
+
+register_tag_phase("deal", suffix="/sh")
+register_tag_phase("clique", suffix="/nu")
 from repro.protocols.coin_expose import CoinShare, coin_expose, make_dealer_coin
 from repro.protocols.common import filter_tag, valid_element, valid_element_tuple
 
@@ -190,6 +194,8 @@ def run_bit_gen(
             blinding=blinding,
         )
     honest = [pid for pid in programs if pid not in faulty_programs]
-    outputs = network.run(programs, wait_for=honest)
+    with ctx.recorder.span("bit_gen", "protocol", n=n, t=t, M=M,
+                           dealer=dealer):
+        outputs = network.run(programs, wait_for=honest)
     ctx.absorb(network.metrics)
     return outputs, network.metrics

@@ -25,9 +25,14 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.fields.base import Element, Field
+from repro.obs.phases import register_tag_phase
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
 from repro.net.simulator import Send, multicast
 from repro.protocols.common import filter_tag, valid_element
+
+# every Coin-Expose message (seed challenges, leader coins, generated
+# batches) is tagged "expose/<coin_id>"
+register_tag_phase("expose", prefix="expose/")
 
 
 @dataclass(frozen=True)

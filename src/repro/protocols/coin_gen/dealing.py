@@ -24,12 +24,18 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.fields.base import Element, Field
+from repro.obs.phases import register_tag_phase
 from repro.poly.polynomial import Polynomial, horner_batch
 from repro.net.simulator import multicast, unicast
 from repro.sharing.shamir import ShamirScheme
 from repro.protocols.bit_gen import decode_batched
 from repro.protocols.coin_expose import CoinShare, coin_expose_many
 from repro.protocols.common import filter_tag, valid_element, valid_element_tuple
+
+# share distribution ("<tag>/sh") and combination-vector announcements
+# ("<tag>/nu") — the same suffix convention Bit-Gen and Batch-VSS use
+register_tag_phase("deal", suffix="/sh")
+register_tag_phase("clique", suffix="/nu")
 
 
 @dataclass

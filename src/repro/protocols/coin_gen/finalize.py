@@ -176,7 +176,17 @@ def run_coin_gen(
             shared_challenge=shared_challenge,
         )
     honest = [pid for pid in programs if pid not in faulty_programs]
-    outputs = network.run(programs, wait_for=honest)
+    with ctx.recorder.span("coin_gen", "protocol",
+                           n=ctx.n, t=ctx.t, M=M) as span:
+        outputs = network.run(programs, wait_for=honest)
+        if ctx.recorder.enabled:
+            sample = next(
+                (outputs[pid] for pid in honest if outputs.get(pid)), None
+            )
+            span.set(
+                iterations=sample.iterations if sample else 0,
+                success=bool(sample and sample.success),
+            )
     ctx.absorb(network.metrics)
     return outputs, network.metrics
 
@@ -206,6 +216,15 @@ def expose_coin(
             continue
         programs[pid] = coin_expose(ctx.field, pid, outputs[pid].coins[h])
     honest = [pid for pid in programs if pid not in faulty_programs]
-    results = network.run(programs, wait_for=honest)
+    # how many honest programs will actually send (self-selected senders)
+    senders_total = sum(
+        1 for pid in honest
+        if pid in outputs and outputs[pid].success
+        and pid in outputs[pid].coins[h].senders
+        and outputs[pid].coins[h].my_value is not None
+    )
+    with ctx.recorder.span("expose", "protocol", n=ctx.n, coins=1,
+                           senders_total=senders_total):
+        results = network.run(programs, wait_for=honest)
     ctx.absorb(network.metrics)
     return results, network.metrics

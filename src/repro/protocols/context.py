@@ -41,6 +41,7 @@ from repro.net.metrics import NetworkMetrics
 from repro.net.scheduler import Scheduler
 from repro.net.simulator import SynchronousNetwork
 from repro.net.trace import Tracer
+from repro.obs.spans import NULL_RECORDER, NullRecorder
 
 
 @dataclass
@@ -57,6 +58,9 @@ class ProtocolContext:
     scheduler: Optional[Scheduler] = None
     faults: Optional[FaultPlane] = None
     enforce_codec: bool = False
+    #: span recorder threaded into every network this context builds;
+    #: the default NULL_RECORDER makes all instrumentation a no-op
+    recorder: NullRecorder = NULL_RECORDER
     extra_network_kwargs: dict = dataclass_field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -120,6 +124,7 @@ class ProtocolContext:
             scheduler=self.scheduler,
             faults=self.faults,
             tracer=self.tracer,
+            recorder=self.recorder,
             enforce_codec=self.enforce_codec,
             **options,
         )

@@ -25,9 +25,15 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.net.simulator import multicast
+from repro.obs.phases import register_tag_phase
 from repro.protocols.common import filter_tag, is_hashable
 
 GradedValue = Tuple[Optional[Any], int]  # (value, confidence in {0,1,2})
+
+# the three grade-cast rounds: value, echo, re-echo
+register_tag_phase("gradecast", suffix="/v")
+register_tag_phase("gradecast", suffix="/echo")
+register_tag_phase("gradecast", suffix="/echo2")
 
 
 def parallel_gradecast(

@@ -1,7 +1,24 @@
 """Message/bit/operation metering."""
 
+from dataclasses import dataclass
+
 from repro.fields.base import OpCounter
 from repro.net.metrics import NetworkMetrics, payload_field_elements
+
+
+@dataclass(frozen=True)
+class _SlottedPayload:
+    """A ``__slots__`` dataclass payload (no ``__dict__``)."""
+
+    __slots__ = ("a", "b")
+    a: int
+    b: tuple
+
+
+@dataclass
+class _PlainPayload:
+    a: int
+    b: tuple
 
 
 class TestPayloadSizing:
@@ -25,6 +42,16 @@ class TestPayloadSizing:
     def test_nested_protocol_payload(self):
         # a realistic Bit-Gen share message: (tag, (s1..s4))
         assert payload_field_elements(("bg/sh", (10, 20, 30, 40))) == 4
+
+    def test_slots_dataclass_counted(self):
+        """Regression: __slots__ dataclasses have no __dict__, so the
+        vars() fallback used to report them as 0 elements."""
+        assert payload_field_elements(_SlottedPayload(1, (2, 3))) == 3
+        # same shape, same count, with or without slots
+        assert payload_field_elements(_PlainPayload(1, (2, 3))) == 3
+
+    def test_dataclass_inside_message(self):
+        assert payload_field_elements(("tag", _SlottedPayload(1, (2,)))) == 2
 
 
 class TestNetworkMetrics:
@@ -53,6 +80,17 @@ class TestNetworkMetrics:
         assert m.max_player_ops().adds == 10
         total = m.total_ops()
         assert total.adds == 13 and total.muls == 1
+
+    def test_max_player_ops_counts_invs_and_interpolations(self):
+        """Regression: the busiest-player comparison used to ignore
+        invs/interpolations, so an interpolation-heavy player lost to
+        one with a marginally larger add/mul tally."""
+        m = NetworkMetrics()
+        m.add_player_ops(1, OpCounter(adds=4, muls=1))
+        m.add_player_ops(2, OpCounter(adds=1, invs=2, interpolations=3))
+        busiest = m.max_player_ops()
+        assert busiest.interpolations == 3
+        assert busiest.invs == 2
 
     def test_merged_from(self):
         a = NetworkMetrics(element_bits=8)

@@ -63,6 +63,69 @@ class TestTracer:
         assert payload_tag(()) == "?"
 
 
+class TestTracerUnderFaults:
+    """The trace must reflect what the FaultPlane actually delivered."""
+
+    @staticmethod
+    def _ping(pid, n):
+        def program():
+            yield [multicast(("ping", pid))]
+
+        return program()
+
+    def _run(self, plane):
+        n = 3
+        tracer = Tracer()
+        net = SynchronousNetwork(
+            n, field=F, allow_broadcast=False, faults=plane, tracer=tracer
+        )
+        net.run({pid: self._ping(pid, n) for pid in range(1, n + 1)})
+        return tracer, net
+
+    def test_dropped_messages_absent_from_trace(self):
+        from repro.net.faults import FaultPlane
+
+        tracer, _ = self._run(FaultPlane().drop(src=3))
+        first = tracer.rounds[0]
+        # players 1 and 2 each reach all 3; player 3's sends vanish
+        assert first.messages.get((1, "ping")) == 3
+        assert first.messages.get((2, "ping")) == 3
+        assert (3, "ping") not in first.messages
+        assert tracer.messages_by_tag()["ping"] == 6
+
+    def test_duplicated_messages_doubled_in_trace(self):
+        from repro.net.faults import FaultPlane
+
+        tracer, _ = self._run(FaultPlane().duplicate(src=2, dst=1))
+        first = tracer.rounds[0]
+        # the 2 -> 1 edge delivers twice; 2's other two sends once each
+        assert first.messages.get((2, "ping")) == 4
+        assert tracer.messages_by_tag()["ping"] == 10
+
+    def test_fault_events_published_to_recorder(self):
+        from repro.net.faults import FaultPlane
+        from repro.obs.spans import SpanRecorder
+
+        n = 3
+        recorder = SpanRecorder()
+        plane = FaultPlane().drop(src=3).duplicate(src=2, dst=1)
+        net = SynchronousNetwork(
+            n, field=F, allow_broadcast=False, faults=plane,
+            recorder=recorder,
+        )
+        net.run({pid: self._ping(pid, n) for pid in range(1, n + 1)})
+        kinds = sorted(f["kind"] for f in recorder.faults)
+        # 3 drops (3 -> everyone) + 1 duplicate (2 -> 1)
+        assert kinds == ["drop", "drop", "drop", "duplicate"]
+
+    def test_timeline_consistent_with_faulted_delivery(self):
+        from repro.net.faults import FaultPlane
+
+        tracer, net = self._run(FaultPlane().drop(src=3))
+        assert len(tracer.rounds) == net.metrics.rounds
+        assert "ping" in tracer.timeline()
+
+
 class TestCodecEnforcement:
     def test_coin_gen_payloads_all_encodable(self):
         outputs, _, net = run_coin_gen_traced(enforce_codec=True)
