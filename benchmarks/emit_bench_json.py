@@ -25,11 +25,18 @@ smoke-vs-smoke or full-vs-full) and fails if any ratio regressed by more
 than ``--max-regression`` (default 20%).  Ratios — not wall-clock — are
 compared, so the guard is machine-independent: it catches "the cache
 stopped helping", not "the CI runner is slower".
+
+Every run also *appends* one timestamped summary row (flavour, python,
+speedup ratios) to ``BENCH_history.json`` (override with ``--history``,
+disable with ``--no-history``), so the performance trajectory across
+commits accumulates in one artifact instead of each run overwriting the
+last; CI uploads the file after its smoke run.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import pathlib
 import sys
@@ -213,6 +220,35 @@ def speedups(results):
     return out
 
 
+def append_history(payload, history_path):
+    """Append one summary row to the running BENCH_history.json trajectory.
+
+    The history file is a JSON object ``{"rows": [...]}``; each row is
+    small (timestamp + speedup ratios, no raw results) so years of runs
+    stay diffable.  A corrupt or legacy file is reset rather than
+    crashing the bench.
+    """
+    path = pathlib.Path(history_path)
+    try:
+        history = json.loads(path.read_text())
+        rows = history["rows"]
+        assert isinstance(rows, list)
+    except (OSError, ValueError, KeyError, AssertionError):
+        history, rows = {"rows": []}, []
+        history["rows"] = rows
+    rows.append(
+        {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            "smoke": payload["smoke"],
+            "python": payload["python"],
+            "speedups": payload["speedups"],
+        }
+    )
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return len(rows)
+
+
 def check_regressions(payload, baseline_path, max_regression):
     """Compare speedup ratios against a committed baseline.
 
@@ -258,6 +294,11 @@ def main(argv=None):
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="max allowed fractional speedup regression "
                              "vs the baseline (default 0.20)")
+    parser.add_argument("--history", default=None,
+                        help="history file to append the summary row to "
+                             "(default: <repo>/BENCH_history.json)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the history file")
     args = parser.parse_args(argv)
 
     out_path = pathlib.Path(
@@ -285,6 +326,16 @@ def main(argv=None):
         "speedups": speedups(results),
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if not args.no_history:
+        history_path = pathlib.Path(
+            args.history
+            if args.history
+            else pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_history.json"
+        )
+        row_count = append_history(payload, history_path)
+        print(f"appended history row {row_count} to {history_path}")
 
     print(f"wrote {out_path}")
     for key, factor in payload["speedups"].items():

@@ -2,22 +2,32 @@
 
 Commands
 --------
-``toss``     generate shared coin bits or k-ary coins from a bootstrapped
-             source and print them;
-``costs``    print the paper's cost formulas evaluated at given parameters
-             (the lemma-by-lemma cheat sheet);
-``vss``      run Protocol VSS once, honest or cheating, and report the
-             unanimous verdict plus measured costs;
-``beacon``   run a randomness beacon for a number of ticks;
-``trace``    run one instrumented Coin-Gen, print the per-phase breakdown
-             and the lemma-conformance audit;
-``metrics``  run one instrumented Coin-Gen and print the Prometheus text
-             exposition.
+``toss``      generate shared coin bits or k-ary coins from a bootstrapped
+              source and print them;
+``costs``     print the paper's cost formulas evaluated at given parameters
+              (the lemma-by-lemma cheat sheet);
+``vss``       run Protocol VSS once, honest or cheating, and report the
+              unanimous verdict plus measured costs;
+``beacon``    run a randomness beacon for a number of ticks;
+``trace``     run one instrumented Coin-Gen, print the per-phase breakdown
+              and the lemma-conformance audit;
+``metrics``   run one instrumented Coin-Gen and print the Prometheus text
+              exposition;
+``replay``    re-drive a recorded flight log's decode paths offline, or
+              diff two logs (``--diff``) for the first divergence;
+``forensics`` analyze a flight log for Byzantine behaviour and print the
+              per-player accusation report;
+``health``    run a living coin source under the health monitor and gate
+              the exit code on operational thresholds.
 
 ``toss``, ``trace``, and ``metrics`` accept ``--export chrome|jsonl|prom``
 (+ ``--export-out PATH``) to write the recorded spans as a Chrome
 trace-event JSON (open with Perfetto), newline-delimited JSON, or a
-Prometheus exposition.
+Prometheus exposition; the default export path derives from the
+subcommand name (``toss.json``, ``trace.jsonl``, ``metrics.prom``, ...),
+so concurrent exports from different commands never collide.  ``toss``
+and ``trace`` also accept ``--flight-log PATH`` to record the delivered
+message stream for later ``replay``/``forensics``.
 """
 
 from __future__ import annotations
@@ -55,12 +65,20 @@ def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write recorded spans: Chrome trace-event JSON "
                              "(Perfetto), JSONL, or Prometheus text")
     parser.add_argument("--export-out", default=None, metavar="PATH",
-                        help="export file (defaults to trace.json / "
-                             "trace.jsonl / metrics.prom)")
+                        help="export file (defaults to <command>.json / "
+                             "<command>.jsonl / <command>.prom)")
 
 
-_EXPORT_DEFAULTS = {"chrome": "trace.json", "jsonl": "trace.jsonl",
-                    "prom": "metrics.prom"}
+def _add_flight_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--flight-log", default=None, metavar="PATH",
+                        help="record the delivered message stream to a "
+                             "flight log (see 'repro replay'/'forensics')")
+
+
+#: file extension per export format; the default export path is
+#: ``<subcommand>.<ext>`` so e.g. ``toss`` and ``trace`` never clobber
+#: each other's exports when run from the same directory
+_EXPORT_EXTENSIONS = {"chrome": "json", "jsonl": "jsonl", "prom": "prom"}
 
 
 def _make_context(args: argparse.Namespace) -> ProtocolContext:
@@ -83,7 +101,8 @@ def _make_context(args: argparse.Namespace) -> ProtocolContext:
     )
 
 
-def _write_export(args: argparse.Namespace, ctx: ProtocolContext) -> None:
+def _write_export(args: argparse.Namespace, ctx: ProtocolContext,
+                  health=None) -> None:
     """Write the recorder's spans in the format ``--export`` selected."""
     if getattr(args, "export", None) is None:
         return
@@ -93,15 +112,40 @@ def _write_export(args: argparse.Namespace, ctx: ProtocolContext) -> None:
     elif args.export == "jsonl":
         content = to_jsonl(recorder)
     else:
-        content = to_prometheus(metrics=ctx.metrics, recorder=recorder)
-    out = args.export_out or _EXPORT_DEFAULTS[args.export]
+        content = to_prometheus(metrics=ctx.metrics, recorder=recorder,
+                                health=health)
+    out = args.export_out or (
+        f"{args.command}.{_EXPORT_EXTENSIONS[args.export]}"
+    )
     with open(out, "w") as handle:
         handle.write(content)
     print(f"wrote {args.export} export to {out}", file=sys.stderr)
 
 
+def _attach_flight_recorder(args: argparse.Namespace, ctx: ProtocolContext):
+    """A FlightRecorder on the context bus when ``--flight-log`` was given."""
+    if getattr(args, "flight_log", None) is None:
+        return None
+    from repro.obs.flight import FlightRecorder
+
+    recorder = FlightRecorder(n=ctx.n, t=ctx.t, field=ctx.field,
+                              seed=ctx.seed)
+    return recorder.attach(ctx.ensure_bus())
+
+
+def _write_flight_log(args: argparse.Namespace, flight) -> None:
+    if flight is None:
+        return
+    flight.dump(args.flight_log)
+    log = flight.log()
+    print(f"wrote flight log to {args.flight_log} "
+          f"({len(log.rounds)} rounds, {len(log.faults)} faults)",
+          file=sys.stderr)
+
+
 def _cmd_toss(args: argparse.Namespace) -> int:
     ctx = _make_context(args)
+    flight = _attach_flight_recorder(args, ctx)
     root = ctx.recorder.begin("toss", "root")
     source = BootstrapCoinSource(context=ctx, batch_size=args.batch)
     if args.elements:
@@ -125,6 +169,7 @@ def _cmd_toss(args: argparse.Namespace) -> int:
             print(f"{key:42s} {value:,.2f}" if isinstance(value, float)
                   else f"{key:42s} {value}")
     _write_export(args, ctx)
+    _write_flight_log(args, flight)
     return 0
 
 
@@ -195,9 +240,11 @@ def _run_instrumented_coin_gen(args: argparse.Namespace):
         # trace/metrics are pointless without a recorder: attach one even
         # when no --export was requested (the terminal report needs it)
         ctx.recorder = SpanRecorder()
+    flight = _attach_flight_recorder(args, ctx)
     outputs, _ = run_coin_gen(ctx, M=args.M, seed=args.seed)
     if all(o.success for o in outputs.values()):
         expose_coin(ctx, outputs=outputs, h=0)
+    _write_flight_log(args, flight)
     return ctx, outputs
 
 
@@ -243,6 +290,82 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.flight import FlightLog, diff, replay
+
+    log = FlightLog.load(args.log)
+    if args.diff is not None:
+        other = FlightLog.load(args.diff)
+        divergence = diff(log, other)
+        if divergence is None:
+            print("logs are equivalent (no divergent delivery)")
+            return 0
+        print(f"DIVERGENCE at {divergence}")
+        return 1
+
+    result = replay(log)
+    messages = sum(len(event.deliveries) for event in log.rounds)
+    print(f"flight log: n={log.n}, t={log.t}, field={log.field}, "
+          f"seed={log.seed}")
+    print(f"runs              : {len(log.runs())}")
+    print(f"rounds            : {len(log.rounds)}")
+    print(f"deliveries        : {messages}")
+    print(f"faults recorded   : {len(log.faults)}")
+    decoded = result.decoded_values()
+    print(f"exposed coins     : {len(decoded)}")
+    disagreements = sum(
+        1 for values in decoded.values() if len(set(values.values())) > 1
+    )
+    print(f"unanimity breaks  : {disagreements}")
+    return 1 if disagreements else 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    from repro.obs.flight import FlightLog
+    from repro.obs.forensics import analyze_log
+
+    log = FlightLog.load(args.log)
+    report = analyze_log(log)
+    print(report.summary())
+    if args.expect is not None:
+        expected = (
+            set() if not args.expect.strip()
+            else {int(pid) for pid in args.expect.split(",")}
+        )
+        actual = report.corrupt_players()
+        if actual != expected:
+            print(f"MISMATCH: expected {sorted(expected)}, "
+                  f"implicated {sorted(actual)}", file=sys.stderr)
+            return 1
+        return 0
+    return 1 if report.corrupt_players() else 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs.health import HealthMonitor
+
+    ctx = _make_context(args)
+    source = BootstrapCoinSource(
+        context=ctx, batch_size=args.batch, expose_retries=args.retries
+    )
+    monitor = HealthMonitor(source=source).attach(ctx.ensure_bus())
+    for _ in range(args.coins):
+        source.toss_element()
+    print(json_module.dumps(monitor.snapshot(), indent=2, sort_keys=True))
+    _write_export(args, ctx, health=monitor)
+    healthy, reasons = monitor.check(
+        max_bias=args.threshold,
+        max_failures=args.max_failures,
+        max_seed_depletion=args.max_seed_depletion,
+        require_battery=args.battery,
+    )
+    for reason in reasons:
+        print(f"UNHEALTHY: {reason}", file=sys.stderr)
+    return 0 if healthy else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.verifier import report, verify_all
 
@@ -268,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     toss.add_argument("--stats", action="store_true",
                       help="print amortized cost summary")
     _add_export_arguments(toss)
+    _add_flight_argument(toss)
     toss.set_defaults(func=_cmd_toss)
 
     costs = sub.add_parser("costs", help="evaluate the paper's cost formulas")
@@ -304,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--audit", action="store_true",
                        help="exit non-zero if the conformance audit deviates")
     _add_export_arguments(trace)
+    _add_flight_argument(trace)
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -314,6 +439,50 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--M", type=int, default=8, help="coins per batch")
     _add_export_arguments(metrics)
     metrics.set_defaults(func=_cmd_metrics)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-drive a flight log's decode paths, or diff two logs",
+    )
+    replay.add_argument("log", help="flight log recorded with --flight-log")
+    replay.add_argument("--diff", default=None, metavar="OTHER",
+                        help="report the first divergence from OTHER "
+                             "(exit 1 when the logs differ)")
+    replay.set_defaults(func=_cmd_replay)
+
+    forensics = sub.add_parser(
+        "forensics",
+        help="analyze a flight log for Byzantine behaviour",
+    )
+    forensics.add_argument("log", help="flight log recorded with --flight-log")
+    forensics.add_argument("--expect", default=None, metavar="PLAYERS",
+                           help="comma-separated player ids that must be "
+                                "exactly the implicated set (exit 1 "
+                                "otherwise); empty string = nobody")
+    forensics.set_defaults(func=_cmd_forensics)
+
+    health = sub.add_parser(
+        "health",
+        help="run a living coin source and judge its operational health",
+    )
+    _add_system_arguments(health)
+    health.add_argument("--coins", type=int, default=8,
+                        help="k-ary coins to toss")
+    health.add_argument("--batch", type=int, default=16,
+                        help="coins per D-PRBG batch")
+    health.add_argument("--retries", type=int, default=0,
+                        help="exposure retries before failing a toss")
+    health.add_argument("--threshold", type=float, default=None,
+                        metavar="BIAS",
+                        help="max tolerated |rolling bias| (exit 1 beyond)")
+    health.add_argument("--max-failures", type=int, default=None,
+                        help="max tolerated exposure failures")
+    health.add_argument("--max-seed-depletion", type=float, default=None,
+                        help="max tolerated seed-stock depletion in [0,1]")
+    health.add_argument("--battery", action="store_true",
+                        help="also require the statistical battery to pass")
+    _add_export_arguments(health)
+    health.set_defaults(func=_cmd_health)
 
     return parser
 

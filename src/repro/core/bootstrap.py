@@ -22,8 +22,9 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.fields.base import Element, Field
 from repro.net.adversary import Adversary
-from repro.core.coin import SharedCoin
-from repro.core.dprbg import DPRBG, SharedCoinSystem, StretchResult
+from repro.obs.bus import BATCH, COIN, FAILURE, RETRY
+from repro.core.coin import SharedCoin, UnanimityError
+from repro.core.dprbg import DPRBG, GenerationError, SharedCoinSystem, StretchResult
 from repro.core.seed import TrustedDealer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +51,21 @@ class BootstrapCoinSource:
         setting.  ``epoch`` 0 is the first batch.
     max_iterations:
         Leader-election budget per Coin-Gen run.
+    expose_retries:
+        How many times to re-run a failed coin exposure before
+        propagating the error (default 0: fail fast, the historical
+        behaviour).  Exposure failure is the paper's ``<= Mn/2^k``
+        probability event; a long-lived beacon prefers to retry the
+        same shares (exposure is deterministic in the honest case, so
+        retries only help against transient adversarial interference).
+
+    When the context carries a shared event bus (see
+    :attr:`~repro.protocols.context.ProtocolContext.bus`), the source
+    publishes its health stream into it — ``"coin"`` per exposed coin,
+    ``"batch"`` per stretch, ``"failure"``/``"retry"`` per exposure
+    mishap — which is what :class:`~repro.obs.health.HealthMonitor`
+    consumes.  Without a bus, nothing is published and runs are
+    byte-identical to earlier releases.
     """
 
     def __init__(
@@ -64,6 +80,7 @@ class BootstrapCoinSource:
         max_iterations: Optional[int] = None,
         blinding: bool = True,
         context: Optional["ProtocolContext"] = None,
+        expose_retries: int = 0,
     ):
         self.system = SharedCoinSystem(field, n, t, seed=seed, context=context)
         field, n, t = self.system.field, self.system.n, self.system.t
@@ -74,6 +91,7 @@ class BootstrapCoinSource:
         self.batch_size = batch_size
         self.low_watermark = max(1, low_watermark)
         self.adversary_schedule = adversary_schedule
+        self.expose_retries = max(0, expose_retries)
 
         # One-time trusted dealer (Rabin [17]); never used again after this.
         dealer = TrustedDealer(field, n, t, seed=seed + 1)
@@ -94,6 +112,12 @@ class BootstrapCoinSource:
         self.batch_history: List[StretchResult] = []
 
     # -- internal ---------------------------------------------------------------
+    def _publish(self, topic: str, *args) -> None:
+        """Publish a health event when the context carries a shared bus."""
+        bus = self.system.context.bus
+        if bus is not None:
+            bus.publish(topic, *args)
+
     def _refill(self) -> None:
         if self.adversary_schedule is not None:
             self.system.set_adversary(self.adversary_schedule(self.epoch))
@@ -101,6 +125,10 @@ class BootstrapCoinSource:
             self._seed_coins,
             self.batch_size,
             tag=f"batch{self.epoch}",
+        )
+        self._publish(
+            BATCH, self.epoch, len(result.coins), result.iterations,
+            result.seed_consumed,
         )
         self.pool.extend(result.coins)
         # next seed = freshly reserved coins + any unconsumed old seeds;
@@ -121,11 +149,32 @@ class BootstrapCoinSource:
 
     # -- public API ----------------------------------------------------------------
     def toss_element(self) -> Element:
-        """Expose and return one k-ary shared coin (a full field element)."""
+        """Expose and return one k-ary shared coin (a full field element).
+
+        Exposure failures (unanimity breaks, undecodable shares) are
+        retried up to ``expose_retries`` times before propagating; each
+        failure and retry is published to the health stream.
+        """
         self._ensure()
         coin = self.pool.pop(0)
         self.coins_consumed += 1
-        return self.system.expose(coin)
+        attempt = 0
+        while True:
+            try:
+                value = self.system.expose(coin)
+            except (UnanimityError, GenerationError) as error:
+                kind = (
+                    "unanimity" if isinstance(error, UnanimityError)
+                    else "decode"
+                )
+                self._publish(FAILURE, kind, coin.coin_id)
+                if attempt >= self.expose_retries:
+                    raise
+                attempt += 1
+                self._publish(RETRY, coin.coin_id, attempt)
+                continue
+            self._publish(COIN, coin.coin_id, value)
+            return value
 
     def toss(self) -> int:
         """One shared coin bit.

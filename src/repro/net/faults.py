@@ -151,6 +151,16 @@ class FaultPlane:
 
             self.bus.publish(FAULT, round_no, kind, src, dst)
 
+    def note_player_fault(self, round_no: int, kind: str, pid: int) -> None:
+        """Publish a player-level fault (``"crash"``/``"silence"``).
+
+        Called by the runtime once per round it suppresses a player, with
+        ``dst=0`` meaning "all destinations"; flight recorders and
+        forensics use these events as direct evidence of the injected
+        player fault.
+        """
+        self._publish(round_no, kind, pid, 0)
+
     def apply(
         self, round_no: int, deliveries: List[RoutedDelivery]
     ) -> List[RoutedDelivery]:

@@ -34,7 +34,7 @@ from repro.net.transport import (
     Transport,
     make_transport,
 )
-from repro.obs.bus import FAULT, ROUND, EventBus
+from repro.obs.bus import FAULT, ROUND, RUN, EventBus
 from repro.obs.phases import classify_tags
 from repro.obs.spans import NULL_RECORDER
 
@@ -195,11 +195,13 @@ class ProtocolRuntime:
         """Step one player and append its (dst, src, payload) deliveries."""
         faults = self.faults
         if faults is not None and faults.is_crashed(pid, round_no):
+            faults.note_player_fault(round_no, "crash", pid)
             return
         sends = self._advance(pid, program, inbox, outputs, done, round_no)
-        if sends and not (
-            faults is not None and faults.is_silenced(pid, round_no)
-        ):
+        if sends:
+            if faults is not None and faults.is_silenced(pid, round_no):
+                faults.note_player_fault(round_no, "silence", pid)
+                return
             deliveries.extend(
                 (dst, pid, payload)
                 for dst, payload in self._expand(pid, sends)
@@ -226,6 +228,9 @@ class ProtocolRuntime:
         waited = set(programs) if wait_for is None else set(wait_for) & set(programs)
         if self.faults is not None:
             waited -= self.faults.crashed_players()
+        # run-boundary marker: flight recorders sharing a context bus use
+        # it to delimit protocol runs (round numbers restart per run)
+        self.bus.publish(RUN, self.n)
         outputs: Dict[int, Any] = {}
         done: Dict[int, bool] = {pid: False for pid in programs}
         inboxes: Dict[int, Inbox] = {pid: {} for pid in programs}

@@ -20,7 +20,15 @@ Corollary 1).  This package makes those costs observable on live runs:
 * :mod:`repro.obs.export` — JSONL, Chrome trace-event (Perfetto), and
   Prometheus text exporters;
 * :mod:`repro.obs.audit` — the lemma-conformance auditor comparing live
-  span tallies against :mod:`repro.analysis.complexity` predictions.
+  span tallies against :mod:`repro.analysis.complexity` predictions;
+* :mod:`repro.obs.flight` — the flight recorder: capture the delivered
+  message stream to a versioned JSONL log, :func:`~repro.obs.flight.replay`
+  its decode paths offline, :func:`~repro.obs.flight.diff` two logs;
+* :mod:`repro.obs.forensics` — replay a flight log through a per-player
+  behaviour model and name the misbehaving players, with event-index
+  evidence;
+* :mod:`repro.obs.health` — gauges/counters/rolling statistics for a
+  long-lived :class:`~repro.core.bootstrap.BootstrapCoinSource`.
 """
 
 from repro.obs.bus import EventBus
@@ -38,6 +46,15 @@ from repro.obs.audit import (
     audit_coin_gen,
     audit_recorder,
 )
+from repro.obs.flight import (
+    Divergence,
+    FlightLog,
+    FlightRecorder,
+    diff,
+    replay,
+)
+from repro.obs.forensics import AccusationReport, analyze_log
+from repro.obs.health import HealthMonitor
 
 __all__ = [
     "EventBus",
@@ -55,4 +72,12 @@ __all__ = [
     "PhaseCheck",
     "audit_coin_gen",
     "audit_recorder",
+    "FlightRecorder",
+    "FlightLog",
+    "Divergence",
+    "replay",
+    "diff",
+    "AccusationReport",
+    "analyze_log",
+    "HealthMonitor",
 ]

@@ -1,19 +1,46 @@
 """A small synchronous event bus for runtime observability.
 
 The :class:`~repro.net.runtime.ProtocolRuntime` owns one bus per
-execution and publishes:
+execution (or shares the :class:`~repro.protocols.context.ProtocolContext`
+bus when one is attached) and publishes:
 
+* ``"run"``     — ``(n,)`` once at the start of every ``run()`` call;
+  flight recorders use it to delimit protocol runs sharing one bus;
 * ``"round"``   — ``(round_number, deliveries)`` once per settled round,
   after the fault plane and scheduler have decided what actually arrives
-  (this is the stream the :class:`~repro.net.trace.Tracer` and the legacy
-  ``observer=`` callback subscribe to);
+  (this is the stream the :class:`~repro.net.trace.Tracer`, the legacy
+  ``observer=`` callback, and the flight recorder subscribe to);
 * ``"fault"``   — ``(round_number, kind, src, dst)`` from the
   :class:`~repro.net.faults.FaultPlane`, once per rewritten delivery
-  (kind is ``"drop"``, ``"duplicate"``, or ``"delay"``).
+  (kind is ``"drop"``, ``"duplicate"``, or ``"delay"``) and once per
+  round a player fault suppresses (kind ``"crash"`` or ``"silence"``,
+  with ``dst=0`` meaning "all destinations").
 
-Handlers run synchronously in subscription order; a handler exception
-propagates (observability must never silently corrupt a run — failing
-loudly in a simulator is the right trade).
+Long-lived components publish health topics into a shared context bus:
+
+* ``"coin"``    — ``(coin_id, element)`` per coin a
+  :class:`~repro.core.bootstrap.BootstrapCoinSource` exposes;
+* ``"batch"``   — ``(epoch, coins, iterations, seed_consumed)`` per
+  D-PRBG stretch;
+* ``"failure"`` — ``(kind, coin_id)`` per exposure failure (kind is
+  ``"unanimity"`` or ``"decode"``);
+* ``"retry"``   — ``(coin_id, attempt)`` per exposure retry.
+
+Delivery contract (decided and relied upon by the observability layer):
+
+* **ordering** — handlers run synchronously, in first-subscription order;
+* **idempotent subscription** — subscribing the same handler to the same
+  topic twice is a no-op, so components re-wired on every network
+  construction (tracers, recorders sharing a context bus across runs)
+  are invoked exactly once per event;
+* **mutation-safe publish** — ``publish`` iterates over a snapshot of the
+  subscriber list, so a handler may subscribe or unsubscribe (itself or
+  others) mid-publish; newly subscribed handlers first see the *next*
+  event, unsubscribed handlers may still receive the in-flight one;
+* **exceptions propagate** — a failing handler aborts the publish and the
+  protocol step that triggered it.  Observability must never silently
+  corrupt a run; failing loudly in a simulator is the right trade, and
+  handlers that prefer resilience must catch their own exceptions.
 """
 
 from __future__ import annotations
@@ -23,19 +50,27 @@ from typing import Any, Callable, Dict, List
 Handler = Callable[..., Any]
 
 #: topic names published by the runtime stack
+RUN = "run"
 ROUND = "round"
 FAULT = "fault"
+#: topic names published by the long-lived coin pipeline (health stream)
+COIN = "coin"
+BATCH = "batch"
+FAILURE = "failure"
+RETRY = "retry"
 
 
 class EventBus:
-    """Topic -> ordered handler list; publish is a plain loop."""
+    """Topic -> ordered handler list; publish loops over a snapshot."""
 
     def __init__(self) -> None:
         self._subscribers: Dict[str, List[Handler]] = {}
 
     def subscribe(self, topic: str, handler: Handler) -> None:
-        """Append ``handler`` to ``topic``'s delivery list."""
-        self._subscribers.setdefault(topic, []).append(handler)
+        """Append ``handler`` to ``topic``'s delivery list (idempotent)."""
+        handlers = self._subscribers.setdefault(topic, [])
+        if handler not in handlers:
+            handlers.append(handler)
 
     def unsubscribe(self, topic: str, handler: Handler) -> None:
         """Remove a previously subscribed handler (no-op if absent)."""
@@ -43,9 +78,20 @@ class EventBus:
         if handler in handlers:
             handlers.remove(handler)
 
+    def is_subscribed(self, topic: str, handler: Handler) -> bool:
+        return handler in self._subscribers.get(topic, ())
+
     def publish(self, topic: str, *args: Any, **kwargs: Any) -> None:
-        """Invoke every subscriber of ``topic`` with the given payload."""
-        for handler in self._subscribers.get(topic, ()):
+        """Invoke every subscriber of ``topic`` with the given payload.
+
+        Iterates a snapshot, so handlers may (un)subscribe mid-publish;
+        handler exceptions propagate (see the module docstring for the
+        full delivery contract).
+        """
+        handlers = self._subscribers.get(topic)
+        if not handlers:
+            return
+        for handler in list(handlers):
             handler(*args, **kwargs)
 
     def has_subscribers(self, topic: str) -> bool:

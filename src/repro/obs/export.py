@@ -123,8 +123,14 @@ def to_prometheus(
     metrics: Optional[NetworkMetrics] = None,
     recorder: Optional[SpanRecorder] = None,
     prefix: str = "repro",
+    health=None,
 ) -> str:
-    """Prometheus text exposition of counters and span histograms."""
+    """Prometheus text exposition of counters and span histograms.
+
+    ``health`` optionally appends a
+    :class:`~repro.obs.health.HealthMonitor`'s pipeline gauges and
+    counters to the same exposition.
+    """
     lines: List[str] = []
     if metrics is not None:
         lines.append(f"# TYPE {prefix}_rounds_total counter")
@@ -186,4 +192,6 @@ def to_prometheus(
                 lines.append(
                     f'{prefix}_faults_total{{kind="{kind}"}} {by_kind[kind]}'
                 )
+    if health is not None:
+        lines.extend(health.prometheus_lines(prefix))
     return "\n".join(lines) + "\n"

@@ -1,0 +1,510 @@
+"""Flight recorder: capture the delivered message stream, replay it later.
+
+A :class:`FlightRecorder` is a plain :class:`~repro.obs.bus.EventBus`
+subscriber — it listens to the ``"run"``, ``"round"``, and ``"fault"``
+topics the runtime stack already publishes, and serializes everything
+that *actually arrived* (post fault-plane, post scheduler) into a
+versioned JSONL log.  Payloads go over the same wire codec real
+deployments would use (:mod:`repro.net.codec`), so a flight log is a
+faithful byte-level record of the run, not a Python-pickle diary.
+
+Because recording is subscription-only, a run without a recorder
+attached executes byte-identically to one with — the same
+``NULL_RECORDER`` discipline the span layer follows.
+
+What a log buys you:
+
+* :func:`replay` — re-drive the decode paths (codec round-trip, inbox
+  reconstruction, Coin-Expose Berlekamp-Welch decoding) from the log
+  alone, with no live network;
+* :func:`diff` — compare two logs and report the first divergent
+  ``(run, round, sender, receiver, tag)``, the tool for "these two runs
+  should have been identical — where did they fork?";
+* :mod:`repro.obs.forensics` — replay a faulty run and decide *which
+  player* misbehaved, with event indices into the log as evidence.
+
+Log format (one JSON object per line)::
+
+    {"flight": 1, "n": 7, "t": 1, "field": "gf2k:32", "seed": 3}
+    {"e": "run", "i": 0}
+    {"e": "round", "i": 1, "run": 1, "r": 1, "d": [[2, 1, "28022..."], ...]}
+    {"e": "fault", "i": 2, "run": 1, "r": 3, "k": "crash", "src": 4, "dst": 0}
+
+``i`` is the event index (0-based, in arrival order) — forensics cites
+these as evidence.  Delivery triples are ``[dst, src, payload_hex]``;
+payloads outside the codec vocabulary fall back to ``[dst, src,
+{"repr": ...}]`` and replay as :class:`OpaquePayload`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.net import codec
+from repro.net.trace import payload_tag
+from repro.obs.bus import FAULT, ROUND, RUN, EventBus
+
+#: current flight-log schema version; bumped on any incompatible change
+FLIGHT_VERSION = 1
+
+
+# -- field specs ------------------------------------------------------------
+
+def field_spec(field) -> str:
+    """A compact, reconstructible name for ``field`` (``"gf2k:32"``)."""
+    kind = type(field).__name__
+    if kind == "GF2k":
+        return f"gf2k:{field.k}"
+    if kind == "GFp":
+        return f"gfp:{field.p}"
+    return f"{kind.lower()}:{field.order}"
+
+
+def field_from_spec(spec: str):
+    """Rebuild the field a log was recorded under from its spec string."""
+    kind, _, parameter = spec.partition(":")
+    if kind == "gf2k":
+        from repro.fields.gf2k import GF2k
+
+        return GF2k(int(parameter))
+    if kind == "gfp":
+        from repro.fields.gfp import GFp
+
+        return GFp(int(parameter))
+    raise ValueError(f"unknown field spec {spec!r}")
+
+
+# -- events -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpaquePayload:
+    """Replay stand-in for a payload the wire codec could not encode."""
+
+    text: str
+
+
+def _encode_payload(payload: Any):
+    try:
+        return codec.encode(payload).hex()
+    except codec.CodecError:
+        return {"repr": repr(payload)}
+
+
+def _decode_payload(wire) -> Any:
+    if isinstance(wire, str):
+        return codec.decode(bytes.fromhex(wire))
+    return OpaquePayload(wire["repr"])
+
+
+@dataclass(frozen=True)
+class RoundEvent:
+    """One settled round: what every player actually received."""
+
+    index: int  #: event index in the log (evidence handle)
+    run: int    #: 1-based protocol-run number within the log
+    round: int  #: 1-based round number within the run
+    #: ``(dst, src, payload)`` in delivery order, payloads decoded
+    deliveries: Tuple[Tuple[int, int, Any], ...]
+
+    def inboxes(self) -> Dict[int, Dict[int, List[Any]]]:
+        """Rebuild ``{dst: {src: [payloads]}}`` exactly as the runtime did."""
+        out: Dict[int, Dict[int, List[Any]]] = {}
+        for dst, src, payload in self.deliveries:
+            out.setdefault(dst, {}).setdefault(src, []).append(payload)
+        return out
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-plane intervention (edge rewrite or player suppression)."""
+
+    index: int
+    run: int
+    round: int
+    kind: str  #: drop / duplicate / delay / crash / silence
+    src: int
+    dst: int   #: 0 means "all destinations" (player-level fault)
+
+
+@dataclass
+class FlightLog:
+    """A parsed flight log: header plus the ordered event stream."""
+
+    n: int
+    t: int
+    field: Optional[str] = None  #: field spec string, when known
+    seed: Optional[int] = None
+    version: int = FLIGHT_VERSION
+    rounds: List[RoundEvent] = dataclass_field(default_factory=list)
+    faults: List[FaultEvent] = dataclass_field(default_factory=list)
+    #: total events recorded (run markers included), for index bookkeeping
+    event_count: int = 0
+
+    # -- (de)serialization --------------------------------------------------
+    def dumps(self) -> str:
+        header = {"flight": self.version, "n": self.n, "t": self.t}
+        if self.field is not None:
+            header["field"] = self.field
+        if self.seed is not None:
+            header["seed"] = self.seed
+        lines = [json.dumps(header, sort_keys=True)]
+        events: List[Tuple[int, dict]] = []
+        run_marks = _run_marker_indices(self.rounds, self.faults,
+                                        self.event_count)
+        for index in run_marks:
+            events.append((index, {"e": "run", "i": index}))
+        for event in self.rounds:
+            events.append((event.index, {
+                "e": "round", "i": event.index, "run": event.run,
+                "r": event.round,
+                "d": [[dst, src, _encode_payload(payload)]
+                      for dst, src, payload in event.deliveries],
+            }))
+        for event in self.faults:
+            events.append((event.index, {
+                "e": "fault", "i": event.index, "run": event.run,
+                "r": event.round, "k": event.kind,
+                "src": event.src, "dst": event.dst,
+            }))
+        events.sort(key=lambda pair: pair[0])
+        lines.extend(json.dumps(record, sort_keys=True)
+                     for _, record in events)
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "FlightLog":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty flight log")
+        header = json.loads(lines[0])
+        version = header.get("flight")
+        if version != FLIGHT_VERSION:
+            raise ValueError(
+                f"unsupported flight log version {version!r} "
+                f"(this build reads version {FLIGHT_VERSION})"
+            )
+        log = cls(n=header["n"], t=header["t"], field=header.get("field"),
+                  seed=header.get("seed"), version=version)
+        run = 0
+        for line in lines[1:]:
+            record = json.loads(line)
+            kind = record["e"]
+            if kind == "run":
+                run += 1
+            elif kind == "round":
+                deliveries = tuple(
+                    (dst, src, _decode_payload(wire))
+                    for dst, src, wire in record["d"]
+                )
+                log.rounds.append(RoundEvent(
+                    index=record["i"], run=record.get("run", run or 1),
+                    round=record["r"], deliveries=deliveries,
+                ))
+            elif kind == "fault":
+                log.faults.append(FaultEvent(
+                    index=record["i"], run=record.get("run", run or 1),
+                    round=record["r"], kind=record["k"],
+                    src=record["src"], dst=record["dst"],
+                ))
+            else:
+                raise ValueError(f"unknown flight event kind {kind!r}")
+            log.event_count = max(log.event_count, record["i"] + 1)
+        return log
+
+    @classmethod
+    def load(cls, path: str) -> "FlightLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.loads(handle.read())
+
+    # -- views --------------------------------------------------------------
+    def runs(self) -> List[int]:
+        """The distinct run numbers appearing in the log, in order."""
+        seen: List[int] = []
+        for event in self.rounds:
+            if not seen or event.run != seen[-1]:
+                seen.append(event.run)
+        return seen
+
+    def events(self) -> Iterator:
+        """Rounds and faults interleaved in recorded (index) order."""
+        merged: List = list(self.rounds) + list(self.faults)
+        merged.sort(key=lambda event: event.index)
+        return iter(merged)
+
+
+def _run_marker_indices(rounds, faults, event_count) -> List[int]:
+    """Reconstruct where run-boundary markers sat in the event stream.
+
+    Marker indices are exactly the indices not occupied by a round or
+    fault event; recomputing them keeps :class:`RoundEvent` /
+    :class:`FaultEvent` free of marker bookkeeping.
+    """
+    used = {event.index for event in rounds}
+    used.update(event.index for event in faults)
+    return [index for index in range(event_count) if index not in used]
+
+
+class FlightRecorder:
+    """Record a protocol session's delivered-message stream into a log.
+
+    Attach to the shared context bus *before* running::
+
+        ctx = ProtocolContext.create(field, n=7, t=1, seed=3)
+        recorder = FlightRecorder(n=7, t=1, field=field, seed=3)
+        recorder.attach(ctx.ensure_bus())
+        run_coin_gen(..., context=ctx)
+        recorder.log().dump("run.flightlog")
+
+    The recorder delimits protocol runs by the runtime's ``"run"``
+    events; as a fallback (streams recorded without markers) a round
+    number that does not advance also starts a new run.
+    """
+
+    def __init__(self, n: int, t: int, field=None, seed: Optional[int] = None):
+        self.n = n
+        self.t = t
+        self.field_spec = field_spec(field) if field is not None else None
+        self.seed = seed
+        self._rounds: List[RoundEvent] = []
+        self._faults: List[FaultEvent] = []
+        self._index = 0
+        self._run = 0
+        self._last_round = 0
+        self._run_marked = False
+
+    # -- bus wiring ---------------------------------------------------------
+    def attach(self, bus: EventBus) -> "FlightRecorder":
+        bus.subscribe(RUN, self.on_run)
+        bus.subscribe(ROUND, self.on_round)
+        bus.subscribe(FAULT, self.on_fault)
+        return self
+
+    def detach(self, bus: EventBus) -> None:
+        bus.unsubscribe(RUN, self.on_run)
+        bus.unsubscribe(ROUND, self.on_round)
+        bus.unsubscribe(FAULT, self.on_fault)
+
+    # -- topic handlers -----------------------------------------------------
+    def on_run(self, n: int) -> None:
+        self._run += 1
+        self._last_round = 0
+        self._run_marked = True
+        self._index += 1  # the marker occupies one event index
+
+    def _current_run(self, round_no: int) -> int:
+        if self._run == 0:
+            # stream without markers: first event opens run 1
+            self._run = 1
+        elif not self._run_marked and round_no <= self._last_round:
+            # fallback run detection: round numbers restarted
+            self._run += 1
+        return self._run
+
+    def on_round(self, round_no: int, deliveries) -> None:
+        run = self._current_run(round_no)
+        self._rounds.append(RoundEvent(
+            index=self._index, run=run, round=round_no,
+            deliveries=tuple((dst, src, payload)
+                             for dst, src, payload in deliveries),
+        ))
+        self._index += 1
+        self._last_round = round_no
+        self._run_marked = False
+
+    def on_fault(self, round_no: int, kind: str, src: int, dst: int) -> None:
+        # faults for round r are published before r's round event settles
+        run = self._current_run(round_no)
+        self._faults.append(FaultEvent(
+            index=self._index, run=run, round=round_no,
+            kind=kind, src=src, dst=dst,
+        ))
+        self._index += 1
+        self._run_marked = False
+
+    # -- output -------------------------------------------------------------
+    def log(self) -> FlightLog:
+        return FlightLog(
+            n=self.n, t=self.t, field=self.field_spec, seed=self.seed,
+            rounds=list(self._rounds), faults=list(self._faults),
+            event_count=self._index,
+        )
+
+    def dump(self, path: str) -> None:
+        self.log().dump(path)
+
+
+# -- replay -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExposeDecode:
+    """One receiver's Berlekamp-Welch decode of one exposed coin."""
+
+    run: int
+    round: int
+    coin_id: str
+    receiver: int
+    value: Optional[Any]  #: decoded F(0), or None when undecodable
+    senders: Tuple[int, ...]  #: who contributed a share to this view
+
+
+@dataclass
+class ReplayResult:
+    """Everything :func:`replay` re-derived from a log, no network needed."""
+
+    log: FlightLog
+    #: per-round reconstructed inboxes: (run, round) -> {dst: {src: [payload]}}
+    inboxes: Dict[Tuple[int, int], Dict[int, Dict[int, List[Any]]]]
+    #: per-round tag tally: (run, round) -> {tag: count}
+    tags: Dict[Tuple[int, int], Dict[str, int]]
+    #: Coin-Expose decodes re-driven through the real decoder
+    expose_decodes: List[ExposeDecode]
+
+    def decoded_values(self) -> Dict[Tuple[int, str], Dict[int, Any]]:
+        """``{(run, coin_id): {receiver: value}}`` for quick unanimity checks."""
+        out: Dict[Tuple[int, str], Dict[int, Any]] = {}
+        for decode in self.expose_decodes:
+            out.setdefault((decode.run, decode.coin_id), {})[
+                decode.receiver
+            ] = decode.value
+        return out
+
+
+def replay(log: FlightLog, field=None, t: Optional[int] = None) -> ReplayResult:
+    """Re-drive a log's decode paths without a live network.
+
+    Payloads were codec round-tripped at load time; here the per-round
+    inboxes are rebuilt exactly as the runtime built them, and every
+    Coin-Expose message stream is pushed through the real
+    :func:`~repro.protocols.coin_expose.decode_exposed` decoder — per
+    receiver view, so equivocated shares produce the same (possibly
+    divergent) values the live players saw.
+
+    ``field`` defaults to the log's recorded field spec; expose decoding
+    is skipped when neither is available.  ``t`` defaults to the log's.
+    """
+    from repro.protocols.coin_expose import decode_exposed
+    from repro.protocols.common import valid_element
+
+    if field is None and log.field is not None:
+        field = field_from_spec(log.field)
+    if t is None:
+        t = log.t
+
+    inboxes: Dict[Tuple[int, int], Dict[int, Dict[int, List[Any]]]] = {}
+    tags: Dict[Tuple[int, int], Dict[str, int]] = {}
+    decodes: List[ExposeDecode] = []
+    for event in log.rounds:
+        key = (event.run, event.round)
+        inboxes[key] = event.inboxes()
+        tally = tags.setdefault(key, {})
+        for _dst, _src, payload in event.deliveries:
+            tag = payload_tag(payload)
+            tally[tag] = tally.get(tag, 0) + 1
+        if field is None:
+            continue
+        # re-drive the expose decoder for every receiver's view
+        for receiver, inbox in sorted(inboxes[key].items()):
+            shares: Dict[str, Dict[int, Any]] = {}
+            for src, payloads in inbox.items():
+                for payload in payloads:
+                    if (isinstance(payload, tuple) and len(payload) == 2
+                            and isinstance(payload[0], str)
+                            and payload[0].startswith("expose/")):
+                        coin_id = payload[0][len("expose/"):]
+                        # the live protocol keeps the first share per
+                        # sender (filter_tag semantics)
+                        shares.setdefault(coin_id, {}).setdefault(
+                            src, payload[1]
+                        )
+            for coin_id, by_sender in sorted(shares.items()):
+                points = [
+                    (field.element_point(src), value)
+                    for src, value in sorted(by_sender.items())
+                    if valid_element(field, value)
+                ]
+                decodes.append(ExposeDecode(
+                    run=event.run, round=event.round, coin_id=coin_id,
+                    receiver=receiver,
+                    value=decode_exposed(field, points, t),
+                    senders=tuple(sorted(by_sender)),
+                ))
+    return ReplayResult(log=log, inboxes=inboxes, tags=tags,
+                        expose_decodes=decodes)
+
+
+# -- diff -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two flight logs disagree."""
+
+    run: int
+    round: int
+    sender: int
+    receiver: int
+    tag: str
+    reason: str
+
+    def __str__(self) -> str:
+        where = f"run {self.run} round {self.round}"
+        if self.sender or self.receiver:
+            where += f", {self.sender} -> {self.receiver}"
+        if self.tag:
+            where += f" [{self.tag}]"
+        return f"{where}: {self.reason}"
+
+
+def _delivery_key(delivery) -> Tuple[int, int, str]:
+    dst, src, payload = delivery
+    try:
+        wire = codec.encode(payload).hex()
+    except codec.CodecError:
+        wire = repr(payload)
+    return (dst, src, wire)
+
+
+def diff(log_a: FlightLog, log_b: FlightLog) -> Optional[Divergence]:
+    """First divergent ``(run, round, sender, receiver, tag)`` — or None.
+
+    Per-round delivery sets are compared order-insensitively (schedulers
+    permute arrival order without changing what arrives); header
+    mismatches and missing rounds report with sender/receiver 0.
+    """
+    if (log_a.n, log_a.t, log_a.field) != (log_b.n, log_b.t, log_b.field):
+        return Divergence(0, 0, 0, 0, "", reason=(
+            f"header mismatch: n/t/field "
+            f"({log_a.n},{log_a.t},{log_a.field}) vs "
+            f"({log_b.n},{log_b.t},{log_b.field})"
+        ))
+    rounds_a = {(event.run, event.round): event for event in log_a.rounds}
+    rounds_b = {(event.run, event.round): event for event in log_b.rounds}
+    for key in sorted(set(rounds_a) | set(rounds_b)):
+        run, round_no = key
+        event_a, event_b = rounds_a.get(key), rounds_b.get(key)
+        if event_a is None or event_b is None:
+            present = "B" if event_a is None else "A"
+            return Divergence(run, round_no, 0, 0, "", reason=(
+                f"round present only in log {present}"
+            ))
+        set_a = sorted(_delivery_key(d) for d in event_a.deliveries)
+        set_b = sorted(_delivery_key(d) for d in event_b.deliveries)
+        if set_a == set_b:
+            continue
+        only_a = [d for d in set_a if d not in set_b]
+        only_b = [d for d in set_b if d not in set_a]
+        dst, src, wire = (only_a or only_b)[0]
+        try:
+            tag = payload_tag(codec.decode(bytes.fromhex(wire)))
+        except (ValueError, codec.CodecError):
+            tag = "?"
+        side = "A" if only_a else "B"
+        return Divergence(run, round_no, src, dst, tag, reason=(
+            f"delivery present only in log {side}"
+        ))
+    return None

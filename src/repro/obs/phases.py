@@ -22,6 +22,24 @@ from typing import Dict, Iterable, List, Optional, Tuple
 #: canonical phase names, in pipeline order (used for stable reporting)
 PHASES = ("deal", "clique", "gradecast", "ba", "expose", "other", "idle")
 
+#: phases whose messages carry *per-receiver* secret values (shares), so
+#: sending different payloads to different receivers is protocol-legal.
+#: Every other pipeline phase is multicast-identical: announcing different
+#: values to different players there is equivocation (the behaviour the
+#: paper's consistency graph exists to catch).
+UNICAST_PHASES = frozenset({"deal"})
+
+#: the strictly ordered part of the Fig. 5 pipeline.  "expose" rounds
+#: interleave freely (challenges, leader coins, batch reveals), so they
+#: carry no ordering constraint; within one protocol run the remaining
+#: phases only ever advance.
+PIPELINE_STAGES = {"deal": 0, "clique": 1, "gradecast": 2, "ba": 3}
+
+
+def phase_stage(phase: str) -> Optional[int]:
+    """Position of ``phase`` in the strictly ordered pipeline (or None)."""
+    return PIPELINE_STAGES.get(phase)
+
 _EXACT: Dict[str, str] = {}
 _PREFIX: List[Tuple[str, str]] = []
 _CONTAINS: List[Tuple[str, str]] = []

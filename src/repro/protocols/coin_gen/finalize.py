@@ -144,7 +144,11 @@ def run_coin_gen(
     ready :class:`ProtocolContext` (as ``field`` or via ``context=``),
     whose scheduler, fault plane, and tracer are wired through.  Returns
     per-player outputs and network metrics.  Faulty players are supplied
-    as complete replacement programs (or None for crashed).
+    as complete replacement programs, as None for crashed-from-the-start,
+    or as a *factory* — a callable receiving the player's honest program
+    and returning the program to run instead.  The factory form is how
+    wrapping adversaries (equivocators, crash-at-round-r) get the
+    player's dealt seed-coin shares without re-deriving them.
     """
     ctx = context if context is not None else as_context(field, n, t, seed=seed)
     if max_iterations is None:
@@ -159,22 +163,30 @@ def run_coin_gen(
     programs = {}
     faulty_programs = faulty_programs or {}
     for pid in range(1, ctx.n + 1):
+        honest_program = None
+        if pid not in faulty_programs or callable(faulty_programs.get(pid)):
+            honest_program = coin_gen_program(
+                ctx.field,
+                ctx.n,
+                ctx.t,
+                pid,
+                M,
+                seed_coins[pid],
+                ctx.player_rng(pid),
+                tag=tag,
+                blinding=blinding,
+                shared_challenge=shared_challenge,
+            )
         if pid in faulty_programs:
-            if faulty_programs[pid] is not None:
-                programs[pid] = faulty_programs[pid]
+            supplied = faulty_programs[pid]
+            if supplied is None:
+                continue
+            # factory form: wrap the player's honest program
+            programs[pid] = (
+                supplied(honest_program) if callable(supplied) else supplied
+            )
             continue
-        programs[pid] = coin_gen_program(
-            ctx.field,
-            ctx.n,
-            ctx.t,
-            pid,
-            M,
-            seed_coins[pid],
-            ctx.player_rng(pid),
-            tag=tag,
-            blinding=blinding,
-            shared_challenge=shared_challenge,
-        )
+        programs[pid] = honest_program
     honest = [pid for pid in programs if pid not in faulty_programs]
     with ctx.recorder.span("coin_gen", "protocol",
                            n=ctx.n, t=ctx.t, M=M) as span:
@@ -209,8 +221,16 @@ def expose_coin(
     faulty_programs = faulty_programs or {}
     for pid in range(1, ctx.n + 1):
         if pid in faulty_programs:
-            if faulty_programs[pid] is not None:
-                programs[pid] = faulty_programs[pid]
+            supplied = faulty_programs[pid]
+            if supplied is None:
+                continue
+            if callable(supplied):
+                if pid not in outputs or not outputs[pid].success:
+                    continue
+                supplied = supplied(
+                    coin_expose(ctx.field, pid, outputs[pid].coins[h])
+                )
+            programs[pid] = supplied
             continue
         if pid not in outputs or not outputs[pid].success:
             continue

@@ -41,6 +41,7 @@ from repro.net.metrics import NetworkMetrics
 from repro.net.scheduler import Scheduler
 from repro.net.simulator import SynchronousNetwork
 from repro.net.trace import Tracer
+from repro.obs.bus import EventBus
 from repro.obs.spans import NULL_RECORDER, NullRecorder
 
 
@@ -61,6 +62,13 @@ class ProtocolContext:
     #: span recorder threaded into every network this context builds;
     #: the default NULL_RECORDER makes all instrumentation a no-op
     recorder: NullRecorder = NULL_RECORDER
+    #: optional shared event bus.  When set, every network built from this
+    #: context publishes into it (instead of a private per-run bus), and
+    #: the long-lived coin pipeline publishes its health topics there —
+    #: this is how flight recorders and health monitors observe a whole
+    #: session.  None (the default) keeps runs byte-identical to a
+    #: bus-less context.
+    bus: Optional[EventBus] = None
     extra_network_kwargs: dict = dataclass_field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -125,9 +133,16 @@ class ProtocolContext:
             faults=self.faults,
             tracer=self.tracer,
             recorder=self.recorder,
+            bus=self.bus,
             enforce_codec=self.enforce_codec,
             **options,
         )
+
+    def ensure_bus(self) -> EventBus:
+        """The context's shared bus, creating (and attaching) one if unset."""
+        if self.bus is None:
+            self.bus = EventBus()
+        return self.bus
 
     def absorb(self, run_metrics: NetworkMetrics) -> None:
         """Accumulate one run's tallies into the context's totals."""

@@ -14,6 +14,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "trace_walkthrough.py",
     "proactive_maintenance.py",
+    "forensics_demo.py",
 ]
 
 

@@ -1,0 +1,279 @@
+"""Flight recorder: lossless capture, replay, and divergence detection.
+
+The log must be a *faithful* record: serialization round-trips byte for
+byte across schedulers and fields, replay reconstructs exactly the
+inboxes the runtime delivered, and attaching a recorder never changes
+the run it observes (the NULL_RECORDER discipline, asserted here).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import GF2k, GFp
+from repro.net import PermutedDeliveryScheduler
+from repro.net.faults import FaultPlane
+from repro.obs.flight import (
+    Divergence,
+    FlightLog,
+    FlightRecorder,
+    OpaquePayload,
+    RoundEvent,
+    diff,
+    field_from_spec,
+    field_spec,
+    replay,
+)
+from repro.protocols.coin_gen import run_coin_gen
+from repro.protocols.context import ProtocolContext
+
+
+def record_coin_gen(field, n=7, t=1, seed=3, scheduler=None, faults=None,
+                    M=1, **kwargs):
+    """One recorded Coin-Gen run; returns (log, outputs, ctx)."""
+    ctx = ProtocolContext.create(field, n=n, t=t, seed=seed,
+                                 scheduler=scheduler, faults=faults)
+    recorder = FlightRecorder(n=n, t=t, field=field, seed=seed)
+    recorder.attach(ctx.ensure_bus())
+    outputs, _ = run_coin_gen(field, context=ctx, M=M, tag="cg", **kwargs)
+    return recorder.log(), outputs, ctx
+
+
+class TestFieldSpec:
+    def test_gf2k_round_trip(self):
+        field = GF2k(32)
+        rebuilt = field_from_spec(field_spec(field))
+        assert isinstance(rebuilt, GF2k)
+        assert rebuilt.k == 32 and rebuilt.modulus == field.modulus
+
+    def test_gfp_round_trip(self):
+        rebuilt = field_from_spec(field_spec(GFp(10007)))
+        assert isinstance(rebuilt, GFp)
+        assert rebuilt.p == 10007
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError):
+            field_from_spec("weird:5")
+
+
+class TestLosslessRoundTrip:
+    """dumps -> loads -> dumps is a fixed point, for real protocol runs."""
+
+    @pytest.mark.parametrize("make_scheduler", [
+        lambda: None,
+        lambda: PermutedDeliveryScheduler(seed=9),
+    ], ids=["lockstep", "permuted"])
+    @pytest.mark.parametrize("make_field", [
+        lambda: GF2k(16),
+        lambda: GF2k(32),
+        lambda: GFp(2**31 - 1),
+    ], ids=["gf2k16", "gf2k32", "gfp_mersenne31"])
+    def test_coin_gen_round_trip(self, make_field, make_scheduler):
+        log, outputs, _ = record_coin_gen(
+            make_field(), scheduler=make_scheduler()
+        )
+        assert any(o.success for o in outputs.values())
+        text = log.dumps()
+        reloaded = FlightLog.loads(text)
+        assert reloaded.dumps() == text
+        assert diff(log, reloaded) is None
+        # deliveries decode to identical python payloads, order included
+        assert [e.deliveries for e in reloaded.rounds] == [
+            e.deliveries for e in log.rounds
+        ]
+
+    def test_fault_events_round_trip(self):
+        plane = FaultPlane().crash(5, at_round=4).drop(src=5)
+        log, _, _ = record_coin_gen(GF2k(16), faults=plane)
+        reloaded = FlightLog.loads(log.dumps())
+        assert reloaded.dumps() == log.dumps()
+        assert [(f.run, f.round, f.kind, f.src, f.dst)
+                for f in reloaded.faults] == [
+            (f.run, f.round, f.kind, f.src, f.dst) for f in log.faults
+        ]
+        assert any(f.kind == "crash" for f in reloaded.faults)
+
+    def test_dump_and_load_files(self, tmp_path):
+        log, _, _ = record_coin_gen(GF2k(16))
+        path = tmp_path / "run.flightlog"
+        log.dump(str(path))
+        assert FlightLog.load(str(path)).dumps() == log.dumps()
+
+    def test_multi_run_log_keeps_run_boundaries(self):
+        # several protocol runs over one shared context bus: round
+        # numbers restart per run, the run markers keep them apart
+        field = GF2k(16)
+        ctx = ProtocolContext.create(field, n=7, t=1, seed=3)
+        recorder = FlightRecorder(n=7, t=1, field=field, seed=3)
+        recorder.attach(ctx.ensure_bus())
+        run_coin_gen(field, context=ctx, M=1, tag="one")
+        run_coin_gen(field, context=ctx, M=1, tag="two")
+        log = recorder.log()
+        assert log.runs() == [1, 2]
+        reloaded = FlightLog.loads(log.dumps())
+        assert reloaded.runs() == [1, 2]
+        keys = [(e.run, e.round) for e in reloaded.rounds]
+        assert len(set(keys)) == len(keys), "run/round keys must be unique"
+
+
+# payloads drawn from the full wire vocabulary the codec supports
+payloads = st.recursive(
+    st.none() | st.booleans() | st.integers(-(2**40), 2**40)
+    | st.text(max_size=8),
+    lambda children: st.tuples(children, children),
+    max_leaves=6,
+)
+deliveries = st.lists(
+    st.tuples(st.integers(1, 7), st.integers(1, 7), payloads),
+    max_size=12,
+)
+
+
+class TestRoundTripProperty:
+    @given(rounds=st.lists(deliveries, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_payload_streams_round_trip(self, rounds):
+        log = FlightLog(n=7, t=1, field="gf2k:16", seed=0)
+        index = 0
+        for round_no, dels in enumerate(rounds, start=1):
+            log.rounds.append(RoundEvent(
+                index=index, run=1, round=round_no,
+                deliveries=tuple(dels),
+            ))
+            index += 1
+        log.event_count = index
+        text = log.dumps()
+        reloaded = FlightLog.loads(text)
+        assert reloaded.dumps() == text
+        assert [e.deliveries for e in reloaded.rounds] == [
+            e.deliveries for e in log.rounds
+        ]
+
+    def test_non_codec_payload_becomes_opaque(self):
+        log = FlightLog(n=3, t=0, event_count=1)
+        log.rounds.append(RoundEvent(
+            index=0, run=1, round=1,
+            deliveries=((1, 2, ["not", "wire", "vocab"]),),
+        ))
+        reloaded = FlightLog.loads(log.dumps())
+        (dst, src, payload), = reloaded.rounds[0].deliveries
+        assert (dst, src) == (1, 2)
+        assert payload == OpaquePayload("['not', 'wire', 'vocab']")
+
+
+class TestReplay:
+    def test_inboxes_match_runtime_delivery(self):
+        log, _, _ = record_coin_gen(GF2k(16))
+        result = replay(log)
+        for event in log.rounds:
+            inboxes = result.inboxes[(event.run, event.round)]
+            rebuilt = {}
+            for dst, src, payload in event.deliveries:
+                rebuilt.setdefault(dst, {}).setdefault(src, []).append(payload)
+            assert inboxes == rebuilt
+
+    def test_expose_decodes_are_unanimous_for_honest_run(self):
+        log, _, _ = record_coin_gen(GF2k(16))
+        result = replay(log)
+        decoded = result.decoded_values()
+        assert decoded, "a Coin-Gen run exposes challenge/leader coins"
+        for values in decoded.values():
+            assert len(set(values.values())) == 1
+            assert None not in values.values()
+
+    def test_replay_serialization_byte_identical(self):
+        # the CI acceptance check: replay(loaded) == replay(original)
+        log, _, _ = record_coin_gen(GF2k(32), seed=5)
+        reloaded = FlightLog.loads(log.dumps())
+        original, rerun = replay(log), replay(reloaded)
+        assert original.inboxes == rerun.inboxes
+        assert original.tags == rerun.tags
+        assert original.expose_decodes == rerun.expose_decodes
+
+
+class TestDiff:
+    def test_identical_logs_no_divergence(self):
+        log, _, _ = record_coin_gen(GF2k(16))
+        assert diff(log, FlightLog.loads(log.dumps())) is None
+
+    def test_same_seed_runs_identical(self):
+        log_a, _, _ = record_coin_gen(GF2k(16), seed=4)
+        log_b, _, _ = record_coin_gen(GF2k(16), seed=4)
+        assert diff(log_a, log_b) is None
+
+    def test_different_seeds_diverge(self):
+        log_a, _, _ = record_coin_gen(GF2k(16), seed=4)
+        log_b, _, _ = record_coin_gen(GF2k(16), seed=5)
+        divergence = diff(log_a, log_b)
+        assert isinstance(divergence, Divergence)
+
+    def test_tampering_pinpointed(self):
+        log, _, _ = record_coin_gen(GF2k(16))
+        tampered = FlightLog.loads(log.dumps())
+        event = tampered.rounds[3]
+        dst, src, payload = event.deliveries[0]
+        mutated = event.deliveries[1:] + ((dst, src, ("cg/nu", 0xBAD)),)
+        tampered.rounds[3] = RoundEvent(
+            index=event.index, run=event.run, round=event.round,
+            deliveries=mutated,
+        )
+        divergence = diff(log, tampered)
+        assert divergence is not None
+        assert (divergence.run, divergence.round) == (event.run, event.round)
+        assert divergence.sender == src
+        assert divergence.receiver == dst
+
+    def test_header_mismatch_reported(self):
+        log_a = FlightLog(n=7, t=1)
+        log_b = FlightLog(n=13, t=2)
+        divergence = diff(log_a, log_b)
+        assert divergence is not None and "header" in divergence.reason
+
+    def test_scheduler_permutation_is_not_divergence(self):
+        # arrival *order* differs under the permuted scheduler, but the
+        # delivered multiset per round is scheduler-invariant
+        log_a, _, _ = record_coin_gen(GF2k(16), seed=4)
+        log_b, _, _ = record_coin_gen(
+            GF2k(16), seed=4, scheduler=PermutedDeliveryScheduler(seed=99)
+        )
+        assert diff(log_a, log_b) is None
+
+
+class TestVersioning:
+    def test_future_version_rejected(self):
+        log, _, _ = record_coin_gen(GF2k(16))
+        lines = log.dumps().splitlines()
+        header = json.loads(lines[0])
+        header["flight"] = 999
+        with pytest.raises(ValueError, match="version"):
+            FlightLog.loads("\n".join([json.dumps(header)] + lines[1:]))
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            FlightLog.loads("")
+
+
+class TestZeroCostDiscipline:
+    def test_run_without_recorder_is_byte_identical(self):
+        """Attaching a flight recorder must not perturb the run."""
+        def run(with_recorder):
+            ctx = ProtocolContext.create(GF2k(16), n=7, t=1, seed=11)
+            if with_recorder:
+                FlightRecorder(n=7, t=1, field=ctx.field, seed=11).attach(
+                    ctx.ensure_bus()
+                )
+            outputs, metrics = run_coin_gen(
+                ctx.field, context=ctx, M=2, tag="cg"
+            )
+            shaped = {
+                pid: (o.success, o.clique, o.iterations, o.seed_coins_used,
+                      ctx.field.to_int(o.challenge)
+                      if o.challenge is not None else None)
+                for pid, o in outputs.items()
+            }
+            return (shaped, metrics.rounds, metrics.unicast_messages,
+                    metrics.broadcast_messages, metrics.bits)
+
+        assert run(False) == run(True)

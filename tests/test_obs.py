@@ -59,6 +59,85 @@ class TestEventBus:
         assert bus.has_subscribers("a")
         assert not bus.has_subscribers("b")
 
+    def test_subscribe_idempotent(self):
+        # re-wiring the same handler (as happens when several networks
+        # share one context bus) must not double-deliver events
+        bus = EventBus()
+        seen = []
+        handler = seen.append
+        bus.subscribe("round", handler)
+        bus.subscribe("round", handler)
+        bus.publish("round", 1)
+        assert seen == [1]
+        assert bus.is_subscribed("round", handler)
+
+    def test_bound_method_subscription_idempotent(self):
+        # bound methods compare equal per-instance; the dedup must hold
+        # for them too (tracer.observe is re-subscribed per network)
+        class Collector:
+            def __init__(self):
+                self.seen = []
+
+            def on_event(self, value):
+                self.seen.append(value)
+
+        collector = Collector()
+        bus = EventBus()
+        bus.subscribe("round", collector.on_event)
+        bus.subscribe("round", collector.on_event)
+        bus.publish("round", 7)
+        assert collector.seen == [7]
+
+    def test_handler_may_unsubscribe_itself_mid_publish(self):
+        # publish iterates a snapshot: mutating the subscriber list from
+        # inside a handler must neither skip peers nor raise
+        bus = EventBus()
+        seen = []
+
+        def one_shot(value):
+            seen.append(("one_shot", value))
+            bus.unsubscribe("round", one_shot)
+
+        bus.subscribe("round", one_shot)
+        bus.subscribe("round", lambda v: seen.append(("steady", v)))
+        bus.publish("round", 1)
+        bus.publish("round", 2)
+        assert seen == [("one_shot", 1), ("steady", 1), ("steady", 2)]
+
+    def test_handler_may_subscribe_newcomer_mid_publish(self):
+        # a newly subscribed handler first sees the *next* event
+        bus = EventBus()
+        seen = []
+
+        def recruiter(value):
+            seen.append(("recruiter", value))
+            bus.subscribe("round", lambda v: seen.append(("recruit", v)))
+
+        bus.subscribe("round", recruiter)
+        bus.publish("round", 1)
+        assert seen == [("recruiter", 1)]
+        bus.publish("round", 2)
+        assert ("recruit", 2) in seen
+
+    def test_handler_exceptions_propagate(self):
+        # documented policy: observability fails loudly rather than
+        # silently corrupting a run; later handlers do not run
+        bus = EventBus()
+        seen = []
+
+        def broken(_value):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe("round", broken)
+        bus.subscribe("round", seen.append)
+        with pytest.raises(RuntimeError, match="observer bug"):
+            bus.publish("round", 1)
+        assert seen == []
+        # the bus itself is still usable after the failed publish
+        bus.unsubscribe("round", broken)
+        bus.publish("round", 2)
+        assert seen == [2]
+
 
 class TestPhaseRegistry:
     def test_protocol_tags_classify(self):
