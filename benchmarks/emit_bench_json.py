@@ -30,7 +30,18 @@ Every run also *appends* one timestamped summary row (flavour, python,
 speedup ratios) to ``BENCH_history.json`` (override with ``--history``,
 disable with ``--no-history``), so the performance trajectory across
 commits accumulates in one artifact instead of each run overwriting the
-last; CI uploads the file after its smoke run.
+last; CI uploads the file after its smoke run.  ``--check-history``
+additionally gates the run against that trajectory: each speedup ratio
+must stay within ``--max-regression`` of the *median* of the last
+``--history-window`` same-flavour rows (checked before the current row
+is appended), so a slow drift the static baseline would absorb still
+fails CI.
+
+A ``critical_path`` row (per Coin-Gen configuration) records the
+happens-before DAG's structural depth, unit-latency makespan, per-phase
+critical-path attribution, per-coin exposure latencies, and a 10x
+straggler what-if delta — all deterministic (graph-derived, not
+wall-clock), so they are directly diffable across commits.
 """
 
 from __future__ import annotations
@@ -199,6 +210,62 @@ def bench_coin_expose(results, smoke):
         )
 
 
+def bench_critical_path(results, smoke):
+    """Structural latency rows off the happens-before DAG (deterministic)."""
+    from repro.analysis.rounds import predicted_rounds
+    from repro.obs import SpanRecorder
+    from repro.obs.causality import CausalRecorder
+    from repro.obs.critical_path import (
+        CostModel, critical_path, ops_from_recorder, what_if,
+    )
+    from repro.protocols.context import ProtocolContext
+
+    configs = [(7, 1, 8)] if smoke else [(7, 1, 16), (13, 2, 16)]
+    field = GF2k(32)
+    for n, t, M in configs:
+        recorder = SpanRecorder()
+        ctx = ProtocolContext.create(field, n, t, seed=5, recorder=recorder)
+        causal = CausalRecorder(n=n).attach(ctx.ensure_bus())
+        out, _ = run_coin_gen(ctx, M=M)
+        assert all(o.success for o in out.values())
+        expose_coin(ctx, outputs=out, h=0)
+        graph = causal.graph()
+        step_ops, labels = ops_from_recorder(recorder)
+        result = critical_path(graph, CostModel(), step_ops)
+        straggler = n // 2 + 1
+        counterfactual = what_if(graph, CostModel(), player=straggler,
+                                 scale=10.0, step_ops=step_ops)
+        spans = {s.name: s for s in recorder.by_kind("protocol")}
+        iterations = spans["coin_gen"].attrs.get("iterations", 1)
+        depths = {labels[run]: graph.depth(run) for run in graph.runs()}
+        predicted = {
+            label: predicted_rounds(label, t=t, iterations=iterations)
+            for label in depths
+        }
+        assert depths == predicted, (
+            f"fault-free DAG depth {depths} != round model {predicted}"
+        )
+        results.append({
+            "bench": "critical_path",
+            "n": n, "t": t, "M": M,
+            "edges": len(graph.edges),
+            "depths": depths,
+            "predicted_depths": predicted,
+            "makespan_unit_latency": result.makespan,
+            "phase_attribution": result.phase_attribution(),
+            "coin_exposures": {
+                f"run{run}:{coin}": latency
+                for (run, coin), latency
+                in sorted(result.coin_exposures.items())
+            },
+            "what_if": {
+                "player": straggler,
+                "scale": 10.0,
+                "makespan_delta": counterfactual.makespan_delta,
+            },
+        })
+
+
 def speedups(results):
     """mode=off wall-clock divided by fresh/shared, per (bench, config)."""
     table = {}
@@ -283,6 +350,58 @@ def check_regressions(payload, baseline_path, max_regression):
     return failures
 
 
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def check_history(payload, history_path, window, max_regression):
+    """Compare speedup ratios against the rolling history median.
+
+    The static ``--baseline`` guard catches one bad commit; this guard
+    catches slow drift.  Each current ratio must be >= ``(1 -
+    max_regression)`` times the *median* of that key over the last
+    ``window`` same-flavour history rows (median, not mean, so one noisy
+    CI run cannot poison the reference).  Must run *before* the current
+    row is appended, or the run would vouch for itself.  Returns failure
+    strings (empty = pass); no same-flavour rows is a pass.
+    """
+    try:
+        rows = json.loads(pathlib.Path(history_path).read_text())["rows"]
+        assert isinstance(rows, list)
+    except (OSError, ValueError, KeyError, AssertionError):
+        print("history guard: no readable history, skipping")
+        return []
+    flavour = [r for r in rows
+               if bool(r.get("smoke")) == bool(payload["smoke"])]
+    recent = flavour[-window:]
+    if not recent:
+        print("history guard: no same-flavour rows yet, skipping")
+        return []
+    failures = []
+    current = payload["speedups"]
+    for key in sorted(current):
+        samples = [r["speedups"][key] for r in recent
+                   if key in r.get("speedups", {})]
+        if not samples:
+            continue
+        median = _median(samples)
+        floor = median * (1 - max_regression)
+        status = "ok" if current[key] >= floor else "REGRESSED"
+        print(f"  {key}: {current[key]}x vs median {median:.2f}x of last "
+              f"{len(samples)} (floor {floor:.2f}x) {status}")
+        if current[key] < floor:
+            failures.append(
+                f"{key}: {current[key]}x < floor {floor:.2f}x (median of "
+                f"last {len(samples)} runs {median:.2f}x, tolerance "
+                f"{max_regression:.0%})"
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -299,6 +418,13 @@ def main(argv=None):
                              "(default: <repo>/BENCH_history.json)")
     parser.add_argument("--no-history", action="store_true",
                         help="skip appending to the history file")
+    parser.add_argument("--check-history", action="store_true",
+                        help="fail if any speedup regresses by more than "
+                             "--max-regression vs the median of the last "
+                             "--history-window same-flavour history rows")
+    parser.add_argument("--history-window", type=int, default=5,
+                        help="history rows the rolling median looks back "
+                             "over (default 5)")
     args = parser.parse_args(argv)
 
     out_path = pathlib.Path(
@@ -312,6 +438,7 @@ def main(argv=None):
     bench_batch_vss(results, args.smoke)
     bench_coin_gen(results, args.smoke)
     bench_coin_expose(results, args.smoke)
+    bench_critical_path(results, args.smoke)
 
     payload = {
         "generated_by": "benchmarks/emit_bench_json.py",
@@ -327,13 +454,20 @@ def main(argv=None):
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
 
-    if not args.no_history:
-        history_path = pathlib.Path(
-            args.history
-            if args.history
-            else pathlib.Path(__file__).resolve().parent.parent
-            / "BENCH_history.json"
+    history_path = pathlib.Path(
+        args.history
+        if args.history
+        else pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_history.json"
+    )
+    history_failures = []
+    if args.check_history:
+        print(f"history guard vs last {args.history_window} rows of "
+              f"{history_path} (tolerance {args.max_regression:.0%}):")
+        history_failures = check_history(
+            payload, history_path, args.history_window, args.max_regression
         )
+    if not args.no_history:
         row_count = append_history(payload, history_path)
         print(f"appended history row {row_count} to {history_path}")
 
@@ -357,6 +491,13 @@ def main(argv=None):
                 print(f"REGRESSION: {failure}", file=sys.stderr)
             return 1
         print("regression guard: all speedups within tolerance")
+
+    if history_failures:
+        for failure in history_failures:
+            print(f"HISTORY REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    if args.check_history:
+        print("history guard: all speedups within tolerance")
     return 0
 
 

@@ -8,6 +8,8 @@ code data-independent (see docs/MODEL.md "Determinism and termination").
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 def coin_expose_rounds() -> int:
     """Fig. 6: a single share-announcement round."""
@@ -66,3 +68,30 @@ def refresh_rounds(t: int, iterations: int = 1) -> int:
 def recovery_rounds(t: int, iterations: int = 1) -> int:
     """Coin-Gen core plus the masked-share round."""
     return coin_gen_rounds(t, iterations) + 1
+
+
+def predicted_rounds(
+    protocol: str, t: int = 0, iterations: int = 1
+) -> Optional[int]:
+    """The round prediction for a protocol span name, or None.
+
+    Maps the names runners stamp on protocol spans (``coin_gen``,
+    ``expose``, ``batch_vss``, ``bit_gen``, ``vss``, ``refresh``,
+    ``recovery``) to the formulas above.  This is what a fault-free
+    happens-before DAG's depth — and the observed count of
+    message-carrying rounds — must equal *exactly* (the runtime's
+    trailing drain round carries no messages and is excluded on both
+    sides).  Unknown protocols return None: "not auditable", never a
+    spurious deviation.
+    """
+    formulas = {
+        "coin_gen": lambda: coin_gen_rounds(t, iterations),
+        "expose": coin_expose_rounds,
+        "batch_vss": batch_vss_rounds,
+        "bit_gen": bit_gen_rounds,
+        "vss": vss_rounds,
+        "refresh": lambda: refresh_rounds(t, iterations),
+        "recovery": lambda: recovery_rounds(t, iterations),
+    }
+    formula = formulas.get(protocol)
+    return formula() if formula is not None else None

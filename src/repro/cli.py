@@ -14,11 +14,20 @@ Commands
 ``metrics``   run one instrumented Coin-Gen and print the Prometheus text
               exposition;
 ``replay``    re-drive a recorded flight log's decode paths offline, or
-              diff two logs (``--diff``) for the first divergence;
+              diff two logs (``--diff``) for the first divergence, or
+              rebuild the happens-before DAG (``--causal``);
 ``forensics`` analyze a flight log for Byzantine behaviour and print the
               per-player accusation report;
 ``health``    run a living coin source under the health monitor and gate
-              the exit code on operational thresholds.
+              the exit code on operational thresholds;
+``critpath``  run one instrumented Coin-Gen, capture its happens-before
+              DAG, and print per-run critical paths, per-phase latency
+              attribution, and per-coin exposure latencies under a cost
+              model; ``--what-if player=I,scale=S`` re-prices the graph
+              with a straggler, ``--export`` writes the JSON analysis,
+              ``--chrome`` writes a Perfetto trace with causal flow
+              arrows, ``--assert-depth`` gates the exit code on the DAG
+              depth matching the ``analysis.rounds`` prediction.
 
 ``toss``, ``trace``, and ``metrics`` accept ``--export chrome|jsonl|prom``
 (+ ``--export-out PATH``) to write the recorded spans as a Chrome
@@ -102,13 +111,17 @@ def _make_context(args: argparse.Namespace) -> ProtocolContext:
 
 
 def _write_export(args: argparse.Namespace, ctx: ProtocolContext,
-                  health=None) -> None:
-    """Write the recorder's spans in the format ``--export`` selected."""
+                  health=None, graph=None) -> None:
+    """Write the recorder's spans in the format ``--export`` selected.
+
+    ``graph`` (a captured :class:`~repro.obs.causality.CausalGraph`)
+    adds causal flow arrows to Chrome exports.
+    """
     if getattr(args, "export", None) is None:
         return
     recorder = ctx.recorder
     if args.export == "chrome":
-        content = to_chrome_trace(recorder)
+        content = to_chrome_trace(recorder, graph=graph)
     elif args.export == "jsonl":
         content = to_jsonl(recorder)
     else:
@@ -231,8 +244,13 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_instrumented_coin_gen(args: argparse.Namespace):
-    """One Coin-Gen + batch exposure under a live recorder."""
+def _run_instrumented_coin_gen(args: argparse.Namespace, causal: bool = False):
+    """One Coin-Gen + batch exposure under a live recorder.
+
+    ``causal`` additionally attaches a
+    :class:`~repro.obs.causality.CausalRecorder` (which turns on the
+    runtime's pre-fault provenance stream) and returns it third.
+    """
     from repro.protocols.coin_gen import run_coin_gen, expose_coin
 
     ctx = _make_context(args)
@@ -240,18 +258,23 @@ def _run_instrumented_coin_gen(args: argparse.Namespace):
         # trace/metrics are pointless without a recorder: attach one even
         # when no --export was requested (the terminal report needs it)
         ctx.recorder = SpanRecorder()
+    causal_recorder = None
+    if causal:
+        from repro.obs.causality import CausalRecorder
+
+        causal_recorder = CausalRecorder(n=ctx.n).attach(ctx.ensure_bus())
     flight = _attach_flight_recorder(args, ctx)
     outputs, _ = run_coin_gen(ctx, M=args.M, seed=args.seed)
     if all(o.success for o in outputs.values()):
         expose_coin(ctx, outputs=outputs, h=0)
     _write_flight_log(args, flight)
-    return ctx, outputs
+    return ctx, outputs, causal_recorder
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.obs.audit import audit_recorder
+    from repro.obs.audit import audit_recorder, audit_rounds
 
-    ctx, outputs = _run_instrumented_coin_gen(args)
+    ctx, outputs, _ = _run_instrumented_coin_gen(args)
     recorder = ctx.recorder
 
     print(f"Coin-Gen trace: n={ctx.n}, t={ctx.t}, k={args.k}, M={args.M}")
@@ -277,6 +300,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                  else ""))
         print(report.table())
 
+    round_checks = audit_rounds(recorder)
+    if round_checks:
+        print()
+        print("round conformance (vs analysis.rounds predictions):")
+        for check in round_checks:
+            all_ok = all_ok and check.ok
+            status = "ok" if check.ok else "DEVIATION"
+            if not check.ok and check.faults:
+                status += f" ({check.faults} faults observed)"
+            print(f"  {check.protocol:<10} expected {check.expected:>3} "
+                  f"measured {check.measured:>3} ({check.deviation:+d})  "
+                  f"{status}")
+
     _write_export(args, ctx)
     if args.audit and not all_ok:
         return 1
@@ -284,7 +320,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    ctx, _ = _run_instrumented_coin_gen(args)
+    ctx, _, _ = _run_instrumented_coin_gen(args)
     print(to_prometheus(metrics=ctx.metrics, recorder=ctx.recorder), end="")
     _write_export(args, ctx)
     return 0
@@ -302,6 +338,20 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             return 0
         print(f"DIVERGENCE at {divergence}")
         return 1
+
+    if args.causal:
+        from repro.obs.causality import graph_from_log
+        from repro.obs.critical_path import critical_path
+
+        graph = graph_from_log(log)
+        print(f"causal graph: n={graph.n}, runs={len(graph.runs())}, "
+              f"edges={len(graph.edges)}")
+        for run, depth in sorted(graph.depths().items()):
+            print(f"  run {run}: depth {depth} "
+                  f"(message-carrying round chain)")
+        print()
+        print(critical_path(graph).table())
+        return 0
 
     result = replay(log)
     messages = sum(len(event.deliveries) for event in log.rounds)
@@ -364,6 +414,131 @@ def _cmd_health(args: argparse.Namespace) -> int:
     for reason in reasons:
         print(f"UNHEALTHY: {reason}", file=sys.stderr)
     return 0 if healthy else 1
+
+
+def _parse_what_if(text: str):
+    """``"player=3,scale=10"`` -> ``(3, 10.0)`` (scale defaults to 10)."""
+    player, scale = None, 10.0
+    for part in text.split(","):
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key == "player":
+            player = int(value)
+        elif key == "scale":
+            scale = float(value)
+        else:
+            raise SystemExit(f"bad --what-if component {part!r} "
+                             f"(expected player=I,scale=S)")
+    if player is None:
+        raise SystemExit("--what-if needs player=I")
+    return player, scale
+
+
+def _parse_op_costs(text: Optional[str]) -> dict:
+    """``"add=1e-9,mul=2e-9,inv=5e-8,interp=1e-6"`` -> CostModel kwargs."""
+    if not text:
+        return {}
+    names = {"add": "add", "mul": "mul", "inv": "inv",
+             "interp": "interpolation", "interpolation": "interpolation"}
+    out = {}
+    for part in text.split(","):
+        key, _, value = part.partition("=")
+        field_name = names.get(key.strip())
+        if field_name is None:
+            raise SystemExit(f"bad --op-cost component {part!r} "
+                             f"(expected add=A,mul=M,inv=I,interp=P)")
+        out[field_name] = float(value)
+    return out
+
+
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.rounds import predicted_rounds
+    from repro.obs.critical_path import (
+        CostModel, critical_path, ops_from_recorder, what_if,
+    )
+
+    ctx, _, causal = _run_instrumented_coin_gen(args, causal=True)
+    graph = causal.graph()
+    step_ops, run_labels = ops_from_recorder(ctx.recorder)
+    model = CostModel(
+        base_latency=args.base_latency,
+        per_element_latency=args.per_element_latency,
+        **_parse_op_costs(args.op_cost),
+    )
+    result = critical_path(graph, model, step_ops)
+
+    print(f"critical path: n={ctx.n}, t={ctx.t}, k={args.k}, M={args.M} "
+          f"(base latency {args.base_latency:g}s/link)")
+    for run, label in sorted(run_labels.items()):
+        print(f"  run {run}: {label}")
+    print()
+    print(result.table())
+
+    counterfactual = None
+    if args.what_if is not None:
+        player, scale = _parse_what_if(args.what_if)
+        counterfactual = what_if(graph, model, player=player, scale=scale,
+                                 step_ops=step_ops)
+        print()
+        print(counterfactual.table())
+
+    # fault-free structural gate: DAG depth == analysis.rounds prediction
+    depth_checks = []
+    spans = sorted(ctx.recorder.by_kind("protocol"), key=lambda s: s.t0)
+    for run, protocol in enumerate(spans, start=1):
+        expected = predicted_rounds(
+            protocol.name,
+            t=protocol.attrs.get("t", 0),
+            iterations=protocol.attrs.get("iterations", 1),
+        )
+        if expected is None:
+            continue
+        depth_checks.append({
+            "run": run, "protocol": protocol.name,
+            "expected": expected, "measured": graph.depth(run),
+            "ok": graph.depth(run) == expected,
+        })
+    if depth_checks:
+        print()
+        print("depth conformance (vs analysis.rounds predictions):")
+        for check in depth_checks:
+            print(f"  run {check['run']} {check['protocol']:<10} "
+                  f"expected {check['expected']:>3} "
+                  f"measured {check['measured']:>3}  "
+                  f"{'ok' if check['ok'] else 'DEVIATION'}")
+
+    if args.export is not None:
+        payload = {
+            "params": {"n": ctx.n, "t": ctx.t, "k": args.k, "M": args.M,
+                       "seed": args.seed},
+            "run_labels": {str(run): label
+                           for run, label in run_labels.items()},
+            "depths": {str(run): depth
+                       for run, depth in graph.depths().items()},
+            "depth_checks": depth_checks,
+            "critical_path": result.to_dict(),
+        }
+        if counterfactual is not None:
+            payload["what_if"] = counterfactual.to_dict()
+        with open(args.export, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote critical-path JSON to {args.export}", file=sys.stderr)
+
+    if args.chrome is not None:
+        content = to_chrome_trace(ctx.recorder, graph=graph,
+                                  flows=args.flows, model=model)
+        with open(args.chrome, "w") as handle:
+            handle.write(content)
+        print(f"wrote Chrome trace (with {args.flows} flow arrows) to "
+              f"{args.chrome}", file=sys.stderr)
+
+    if args.assert_depth and not all(c["ok"] for c in depth_checks):
+        print("DEPTH MISMATCH: happens-before depth deviates from the "
+              "round model", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -448,7 +623,44 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--diff", default=None, metavar="OTHER",
                         help="report the first divergence from OTHER "
                              "(exit 1 when the logs differ)")
+    replay.add_argument("--causal", action="store_true",
+                        help="rebuild the happens-before DAG from the log "
+                             "and print per-run depths + critical paths")
     replay.set_defaults(func=_cmd_replay)
+
+    critpath = sub.add_parser(
+        "critpath",
+        help="critical-path latency attribution for one instrumented "
+             "Coin-Gen (happens-before DAG + cost model)",
+    )
+    _add_system_arguments(critpath)
+    critpath.add_argument("--M", type=int, default=8, help="coins per batch")
+    critpath.add_argument("--what-if", default=None,
+                          metavar="player=I,scale=S",
+                          help="re-price the same graph with player I's "
+                               "links S x slower and report which coins' "
+                               "exposure latency moves")
+    critpath.add_argument("--export", default=None, metavar="PATH",
+                          help="write the critical-path analysis as JSON")
+    critpath.add_argument("--chrome", default=None, metavar="PATH",
+                          help="write a Chrome/Perfetto trace with causal "
+                               "flow arrows")
+    critpath.add_argument("--flows", choices=("critical", "all", "none"),
+                          default="critical",
+                          help="which message edges --chrome draws as "
+                               "arrows")
+    critpath.add_argument("--base-latency", type=float, default=1.0,
+                          help="seconds per message link (cost model)")
+    critpath.add_argument("--per-element-latency", type=float, default=0.0,
+                          help="extra seconds per field element carried")
+    critpath.add_argument("--op-cost", default=None,
+                          metavar="add=A,mul=M,inv=I,interp=P",
+                          help="per-op compute seconds (default: free)")
+    critpath.add_argument("--assert-depth", action="store_true",
+                          help="exit non-zero unless every run's DAG depth "
+                               "matches the analysis.rounds prediction")
+    _add_flight_argument(critpath)
+    critpath.set_defaults(func=_cmd_critpath)
 
     forensics = sub.add_parser(
         "forensics",

@@ -32,9 +32,10 @@ from repro.net.transport import (
     ProtocolViolation,
     Send,
     Transport,
+    expansion_channels,
     make_transport,
 )
-from repro.obs.bus import FAULT, ROUND, RUN, EventBus
+from repro.obs.bus import FAULT, ROUND, RUN, SENT, EventBus
 from repro.obs.phases import classify_tags
 from repro.obs.spans import NULL_RECORDER
 
@@ -191,8 +192,15 @@ class ProtocolRuntime:
         return sends
 
     def _collect(self, pid: int, program: Program, inbox, round_no: int,
-                 outputs, done, deliveries: List[tuple]) -> None:
-        """Step one player and append its (dst, src, payload) deliveries."""
+                 outputs, done, deliveries: List[tuple],
+                 emissions: Optional[List[tuple]] = None) -> None:
+        """Step one player and append its (dst, src, payload) deliveries.
+
+        When ``emissions`` is a list (a causality recorder subscribed to
+        the ``"sent"`` topic), each delivery is also appended there as
+        ``(dst, src, payload, channel)`` — pre-fault, pre-scheduler
+        provenance in exact expansion order.
+        """
         faults = self.faults
         if faults is not None and faults.is_crashed(pid, round_no):
             faults.note_player_fault(round_no, "crash", pid)
@@ -202,10 +210,19 @@ class ProtocolRuntime:
             if faults is not None and faults.is_silenced(pid, round_no):
                 faults.note_player_fault(round_no, "silence", pid)
                 return
+            expanded = self._expand(pid, sends)
             deliveries.extend(
-                (dst, pid, payload)
-                for dst, payload in self._expand(pid, sends)
+                (dst, pid, payload) for dst, payload in expanded
             )
+            if emissions is not None:
+                channels = expansion_channels(self.n, sends)
+                if len(channels) != len(expanded):
+                    # a test double replaced _expand; fall back to unknown
+                    channels = ["?"] * len(expanded)
+                emissions.extend(
+                    (dst, pid, payload, channel)
+                    for (dst, payload), channel in zip(expanded, channels)
+                )
 
     # -- main loop -------------------------------------------------------------
     def run(
@@ -266,11 +283,15 @@ class ProtocolRuntime:
                 snap_bits = self.metrics.bits
                 self._step_spans = []
             deliveries: List[tuple] = []  # (dst, src, payload)
+            # provenance capture is strictly opt-in: the list exists only
+            # while a causality recorder subscribes to the "sent" topic
+            capturing = self.bus.has_subscribers(SENT)
+            emissions: Optional[List[tuple]] = [] if capturing else None
 
             for pid in ordinary:
                 self._collect(
                     pid, programs[pid], None if not started else inboxes[pid],
-                    round_no, outputs, done, deliveries,
+                    round_no, outputs, done, deliveries, emissions,
                 )
 
             # rushing players peek at this round's traffic addressed to them
@@ -287,8 +308,13 @@ class ProtocolRuntime:
                 inbox["rush_peek"] = peek  # type: ignore[index]
                 self._collect(
                     pid, programs[pid], inbox, round_no, outputs, done,
-                    deliveries,
+                    deliveries, emissions,
                 )
+
+            if capturing:
+                # pre-fault emissions: the causality layer needs the true
+                # origin round even when the fault plane delays delivery
+                self.bus.publish(SENT, self.metrics.rounds, emissions)
 
             if recording:
                 # tag tallies are taken pre-fault: they count what honest

@@ -28,7 +28,15 @@ Corollary 1).  This package makes those costs observable on live runs:
   behaviour model and name the misbehaving players, with event-index
   evidence;
 * :mod:`repro.obs.health` — gauges/counters/rolling statistics for a
-  long-lived :class:`~repro.core.bootstrap.BootstrapCoinSource`.
+  long-lived :class:`~repro.core.bootstrap.BootstrapCoinSource`;
+* :mod:`repro.obs.causality` — per-message provenance as a
+  happens-before DAG (:class:`~repro.obs.causality.CausalGraph`),
+  captured live by a :class:`~repro.obs.causality.CausalRecorder` or
+  rebuilt offline from a flight log;
+* :mod:`repro.obs.critical_path` — pluggable
+  :class:`~repro.obs.critical_path.CostModel` pricing of a causal
+  graph: per-coin exposure latency, slowest-chain phase attribution,
+  and straggler :func:`~repro.obs.critical_path.what_if` analysis.
 """
 
 from repro.obs.bus import EventBus
@@ -43,8 +51,24 @@ from repro.obs.export import to_chrome_trace, to_jsonl, to_prometheus
 from repro.obs.audit import (
     ConformanceReport,
     PhaseCheck,
+    RoundsCheck,
     audit_coin_gen,
     audit_recorder,
+    audit_rounds,
+)
+from repro.obs.causality import (
+    CausalGraph,
+    CausalRecorder,
+    MessageEdge,
+    graph_from_log,
+)
+from repro.obs.critical_path import (
+    CostModel,
+    CriticalPathResult,
+    WhatIf,
+    critical_path,
+    ops_from_recorder,
+    what_if,
 )
 from repro.obs.flight import (
     Divergence,
@@ -70,8 +94,20 @@ __all__ = [
     "to_prometheus",
     "ConformanceReport",
     "PhaseCheck",
+    "RoundsCheck",
     "audit_coin_gen",
     "audit_recorder",
+    "audit_rounds",
+    "CausalGraph",
+    "CausalRecorder",
+    "MessageEdge",
+    "graph_from_log",
+    "CostModel",
+    "CriticalPathResult",
+    "WhatIf",
+    "critical_path",
+    "ops_from_recorder",
+    "what_if",
     "FlightRecorder",
     "FlightLog",
     "Divergence",

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.analysis import complexity
+from repro.analysis import complexity, rounds as rounds_model
 from repro.obs.phases import PHASES, messages_by_phase
 from repro.obs.spans import Span, SpanRecorder
 
@@ -252,6 +252,71 @@ def audit_expose(
         sum(measured_interp.values()),
     ))
     return report
+
+
+@dataclass(frozen=True)
+class RoundsCheck:
+    """Observed vs. predicted round count for one protocol span.
+
+    ``measured`` counts *message-carrying* rounds (round spans with a
+    non-zero ``messages`` tally) — the runtime's trailing drain round is
+    empty and excluded, so fault-free the comparison is exact.  A crash
+    or silence fault that empties a round shows up as a negative delta;
+    the ``faults`` count says whether a deviation is expected.
+    """
+
+    protocol: str
+    expected: int
+    measured: int
+    faults: int = 0
+
+    @property
+    def deviation(self) -> int:
+        return self.measured - self.expected
+
+    @property
+    def ok(self) -> bool:
+        return self.measured == self.expected
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "metric": "rounds",
+            "expected": self.expected,
+            "measured": self.measured,
+            "deviation": self.deviation,
+            "faults_observed": self.faults,
+            "ok": self.ok,
+        }
+
+
+def audit_rounds(recorder: SpanRecorder) -> List[RoundsCheck]:
+    """Observed round counts vs. the :mod:`repro.analysis.rounds` model.
+
+    One check per protocol span whose name
+    :func:`~repro.analysis.rounds.predicted_rounds` knows; spans of
+    unknown protocols are skipped.  The ``t``/``iterations`` parameters
+    come off the span's attributes (``t`` defaults to 0, matching
+    ``expose`` spans that do not stamp it).
+    """
+    checks: List[RoundsCheck] = []
+    for protocol in recorder.by_kind("protocol"):
+        expected = rounds_model.predicted_rounds(
+            protocol.name,
+            t=protocol.attrs.get("t", 0),
+            iterations=protocol.attrs.get("iterations", 1),
+        )
+        if expected is None:
+            continue
+        measured = sum(
+            1 for round_span in _round_children(recorder, protocol)
+            if round_span.attrs.get("messages", 0) > 0
+        )
+        checks.append(RoundsCheck(
+            protocol=protocol.name, expected=expected, measured=measured,
+            faults=_fault_count(recorder, protocol),
+        ))
+    return checks
 
 
 _AUDITORS = {

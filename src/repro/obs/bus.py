@@ -14,7 +14,14 @@ bus when one is attached) and publishes:
   :class:`~repro.net.faults.FaultPlane`, once per rewritten delivery
   (kind is ``"drop"``, ``"duplicate"``, or ``"delay"``) and once per
   round a player fault suppresses (kind ``"crash"`` or ``"silence"``,
-  with ``dst=0`` meaning "all destinations").
+  with ``dst=0`` meaning "all destinations");
+* ``"sent"``    — ``(round_number, emissions)`` once per round, *before*
+  the fault plane and scheduler touch the traffic, where emissions is a
+  list of ``(dst, src, payload, channel)`` in expansion order (channel
+  is ``"unicast"``/``"multicast"``/``"broadcast"``).  Published **only
+  when the topic has subscribers** — provenance capture for the
+  causality layer (:mod:`repro.obs.causality`) must cost nothing when
+  detached.
 
 Long-lived components publish health topics into a shared context bus:
 
@@ -53,6 +60,7 @@ Handler = Callable[..., Any]
 RUN = "run"
 ROUND = "round"
 FAULT = "fault"
+SENT = "sent"
 #: topic names published by the long-lived coin pipeline (health stream)
 COIN = "coin"
 BATCH = "batch"

@@ -5,7 +5,9 @@
 * :func:`to_chrome_trace` — the Trace Event Format understood by
   Perfetto / ``chrome://tracing``.  Lanes: protocol runs, synthesized
   phases, rounds, and one lane per player, so the Fig. 5 pipeline reads
-  as a flame chart.
+  as a flame chart.  Pass a :class:`~repro.obs.causality.CausalGraph`
+  to overlay causal ``flow`` arrows (sender step -> receiver step) for
+  the critical path (default) or every message edge.
 * :func:`to_prometheus` — a text exposition of counters (rounds,
   messages, bits, per-player ops) and span-duration histograms, suitable
   for scraping or for diffing in CI.
@@ -63,8 +65,85 @@ def _trace_event(span: Span, origin: float) -> Dict:
     }
 
 
-def to_chrome_trace(recorder: SpanRecorder) -> str:
-    """Trace Event Format JSON (open with Perfetto or chrome://tracing)."""
+def _step_span_index(recorder: SpanRecorder) -> Dict:
+    """``(run, local_round, player) -> player span``, protocol spans in
+    start order numbered as runs 1..K (one ``network.run`` per span)."""
+    index: Dict = {}
+    protocols = sorted(recorder.by_kind("protocol"), key=lambda s: s.t0)
+    for run_no, protocol in enumerate(protocols, start=1):
+        for round_span in recorder.children(protocol):
+            if round_span.kind != "round":
+                continue
+            for step in recorder.children(round_span):
+                if step.kind != "player":
+                    continue
+                key = (run_no, step.attrs.get("round"),
+                       step.attrs.get("player"))
+                index.setdefault(key, step)
+    return index
+
+
+def _flow_edges(graph, flows: str, model) -> List:
+    """The message edges to draw as arrows for the requested mode."""
+    if flows == "all":
+        return list(graph.edges)
+    if flows != "critical":
+        return []
+    from repro.obs.critical_path import critical_path
+
+    result = critical_path(graph, model)
+    return [step.via for run in result.runs for step in run.path
+            if step.via is not None]
+
+
+def _flow_events(recorder: SpanRecorder, graph, flows: str, model,
+                 origin: float) -> List[Dict]:
+    """Paired ``s``/``f`` flow events anchored inside player-step spans.
+
+    Graph rounds follow the cumulative metrics numbering while recorder
+    round spans restart per run, so each run's edges are shifted by its
+    first message round (see :mod:`repro.obs.critical_path`).
+    """
+    steps = _step_span_index(recorder)
+    offsets = {
+        run: min(e.send_round for e in graph.edges_in_run(run)) - 1
+        for run in graph.runs()
+    }
+    events: List[Dict] = []
+    flow_id = 0
+    for edge in _flow_edges(graph, flows, model):
+        offset = offsets.get(edge.run, 0)
+        send = steps.get((edge.run, edge.send_round - offset, edge.src))
+        recv = steps.get((edge.run, edge.recv_round - offset, edge.dst))
+        if send is None or recv is None:
+            continue
+        flow_id += 1
+        common = {"name": edge.tag, "cat": "flow", "id": flow_id, "pid": 1}
+        events.append({
+            **common, "ph": "s",
+            "ts": (send.t1 - origin) * 1e6,
+            "tid": PLAYER_TID + edge.src,
+            "args": {"phase": edge.phase, "elements": edge.elements,
+                     "channel": edge.channel, "delayed": edge.delayed},
+        })
+        events.append({
+            **common, "ph": "f", "bp": "e",
+            "ts": (recv.t0 - origin) * 1e6,
+            "tid": PLAYER_TID + edge.dst,
+        })
+    return events
+
+
+def to_chrome_trace(recorder: SpanRecorder, graph=None,
+                    flows: str = "critical", model=None) -> str:
+    """Trace Event Format JSON (open with Perfetto or chrome://tracing).
+
+    ``graph`` (a :class:`~repro.obs.causality.CausalGraph`) overlays
+    causal arrows between player-step slices: ``flows="critical"`` draws
+    only the edges on each run's critical path under ``model`` (default
+    :class:`~repro.obs.critical_path.CostModel`), ``flows="all"`` draws
+    every message edge, ``flows="none"`` suppresses arrows.
+    """
     spans = recorder.all_spans()
     origin = min((s.t0 for s in spans), default=0.0)
     events: List[Dict] = [
@@ -86,6 +165,8 @@ def to_chrome_trace(recorder: SpanRecorder) -> str:
                        "tid": PLAYER_TID + pid,
                        "args": {"name": f"player {pid}"}})
     events.extend(_trace_event(span, origin) for span in spans)
+    if graph is not None:
+        events.extend(_flow_events(recorder, graph, flows, model, origin))
     for fault in recorder.faults:
         events.append({
             "name": f"fault:{fault['kind']}",

@@ -1,0 +1,98 @@
+"""The benchmark history regression guard (``--check-history``).
+
+Unit-tests the rolling-median gate in ``benchmarks/emit_bench_json.py``
+against synthetic history files: flavour filtering, windowing, the
+median reference, and the before-append ordering contract (a run must
+not vouch for itself).
+"""
+
+import importlib.util
+import json
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parent.parent
+              / "benchmarks" / "emit_bench_json.py")
+
+_spec = importlib.util.spec_from_file_location("emit_bench_json", BENCH_PATH)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def history_file(tmp_path, rows):
+    path = tmp_path / "history.json"
+    path.write_text(json.dumps({"rows": rows}))
+    return path
+
+
+def row(speedup, smoke=True):
+    return {"timestamp": "2026-01-01T00:00:00+00:00", "smoke": smoke,
+            "python": "3.12.0", "speedups": {"bench_x": speedup}}
+
+
+def payload(speedup, smoke=True):
+    return {"smoke": smoke, "speedups": {"bench_x": speedup}}
+
+
+class TestMedian:
+    def test_odd_and_even(self):
+        assert bench._median([3.0, 1.0, 2.0]) == 2.0
+        assert bench._median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+class TestCheckHistory:
+    def test_within_tolerance_passes(self, tmp_path):
+        path = history_file(tmp_path, [row(10.0), row(10.0), row(10.0)])
+        assert bench.check_history(payload(8.5), path, 5, 0.20) == []
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        path = history_file(tmp_path, [row(10.0), row(10.0), row(10.0)])
+        failures = bench.check_history(payload(7.9), path, 5, 0.20)
+        assert len(failures) == 1
+        assert "bench_x" in failures[0]
+
+    def test_median_resists_one_noisy_row(self, tmp_path):
+        # one outlier run must not drag the reference down
+        path = history_file(tmp_path, [row(10.0), row(1.0), row(10.0)])
+        assert bench.check_history(payload(8.5), path, 5, 0.20) == []
+
+    def test_window_limits_lookback(self, tmp_path):
+        # old fast rows outside the window must not count
+        path = history_file(
+            tmp_path, [row(100.0), row(100.0), row(10.0), row(10.0)]
+        )
+        assert bench.check_history(payload(9.0), path, 2, 0.20) == []
+        assert bench.check_history(payload(9.0), path, 4, 0.20) != []
+
+    def test_other_flavour_rows_are_ignored(self, tmp_path):
+        path = history_file(tmp_path, [row(100.0, smoke=False), row(10.0)])
+        assert bench.check_history(payload(9.0), path, 5, 0.20) == []
+
+    def test_no_same_flavour_rows_passes(self, tmp_path):
+        path = history_file(tmp_path, [row(10.0, smoke=False)])
+        assert bench.check_history(payload(1.0), path, 5, 0.20) == []
+
+    def test_missing_or_corrupt_history_passes(self, tmp_path):
+        assert bench.check_history(
+            payload(1.0), tmp_path / "absent.json", 5, 0.20
+        ) == []
+        broken = tmp_path / "broken.json"
+        broken.write_text("not json")
+        assert bench.check_history(payload(1.0), broken, 5, 0.20) == []
+
+    def test_keys_absent_from_history_are_skipped(self, tmp_path):
+        path = history_file(tmp_path, [row(10.0)])
+        current = {"smoke": True, "speedups": {"bench_new": 0.1}}
+        assert bench.check_history(current, path, 5, 0.20) == []
+
+    def test_gate_before_append_cannot_vouch_for_itself(self, tmp_path):
+        # simulates main()'s ordering: the current (regressed) run is
+        # checked against history *before* its own row lands
+        path = history_file(tmp_path, [row(10.0)])
+        current = payload(5.0)
+        failures = bench.check_history(current, path, 5, 0.20)
+        assert failures
+        bench.append_history(
+            {**current, "python": "3.12.0"}, path
+        )
+        rows = json.loads(path.read_text())["rows"]
+        assert len(rows) == 2  # appended even when the gate fails

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -67,6 +69,62 @@ class TestVerify:
         out = capsys.readouterr().out
         assert "claims verified" in out
         assert "FAIL" not in out
+
+
+CRITPATH = ["critpath", "--n", "7", "--t", "1", "--M", "2", "--seed", "3"]
+
+
+class TestCritpath:
+    def test_table_and_depth_gate(self, capsys):
+        assert main(CRITPATH + ["--assert-depth"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest chain" in out
+        assert "depth conformance" in out
+        assert "DEVIATION" not in out
+
+    def test_what_if_and_export(self, tmp_path, capsys):
+        out_path = tmp_path / "critpath.json"
+        assert main(CRITPATH + ["--what-if", "player=3,scale=10",
+                                "--export", str(out_path),
+                                "--assert-depth"]) == 0
+        payload = json.loads(out_path.read_text())
+        assert all(check["ok"] for check in payload["depth_checks"])
+        assert payload["what_if"]["makespan_delta"] > 0
+        assert payload["critical_path"]["runs"]
+        out = capsys.readouterr().out
+        assert "what-if" in out
+
+    def test_chrome_flow_export(self, tmp_path):
+        path = tmp_path / "critpath_trace.json"
+        assert main(CRITPATH + ["--chrome", str(path),
+                                "--flows", "all"]) == 0
+        trace = json.loads(path.read_text())
+        assert any(e.get("cat") == "flow" for e in trace["traceEvents"])
+
+    def test_bad_what_if_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(CRITPATH + ["--what-if", "bogus"])
+
+
+class TestReplayCausal:
+    def test_causal_summary_from_flight_log(self, tmp_path, capsys):
+        log_path = tmp_path / "run.flightlog"
+        assert main(["trace", "--n", "7", "--t", "1", "--M", "2",
+                     "--seed", "3", "--flight-log", str(log_path)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(log_path), "--causal"]) == 0
+        out = capsys.readouterr().out
+        assert "causal graph" in out
+        assert "depth" in out
+
+
+class TestTraceRoundConformance:
+    def test_audit_includes_round_model_check(self, capsys):
+        assert main(["trace", "--n", "7", "--t", "1", "--M", "4",
+                     "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "round conformance" in out
+        assert "DEVIATION" not in out
 
 
 class TestParser:
