@@ -13,6 +13,17 @@ Each interpolation-heavy bench runs in three cache modes (see
   (isolates the batch-inversion speedup);
 * ``shared`` — the full barycentric weight cache (adds cross-call reuse).
 
+Orthogonally, every protocol bench runs once per available *field
+backend* (``repro.fields.backends``): the pure-python reference and,
+when numpy imports, the vectorized numpy kernels.  Python-backend rows
+keep the historical speedup keys (``{bench}_{config}_{mode}_vs_off``);
+numpy rows add ``{bench}_{config}_numpy_{mode}_vs_off`` keys measured
+against the *python* off-mode wall, so each ratio is the end-to-end
+uplift over the classic baseline.  A ``batch_vss_gfp`` arm over an
+NTT-friendly prime field at n=33 adds the ``ntt`` interpolation mode
+(transform-based evaluation/interpolation, see ``repro.poly.fast_eval``)
+to the matrix.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench_json.py [--smoke] [--out PATH]
@@ -55,12 +66,19 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.fields import GF2k  # noqa: E402
+from repro.fields import GF2k, GFp  # noqa: E402
+from repro.fields.backends import numpy_available  # noqa: E402
+from repro.fields.ntt import find_ntt_prime  # noqa: E402
 from repro.poly.barycentric import interpolation_mode  # noqa: E402
 from repro.protocols.batch_vss import run_batch_vss  # noqa: E402
 from repro.protocols.coin_gen import expose_coin, run_coin_gen  # noqa: E402
 
 MODES = ("off", "fresh", "shared")
+
+
+def backends():
+    """Field backends this interpreter can bench."""
+    return ("python", "numpy") if numpy_available() else ("python",)
 
 
 def timed(fn, repeats=1):
@@ -75,59 +93,101 @@ def timed(fn, repeats=1):
 
 
 def bench_field_arithmetic(results, smoke):
-    """ops/sec for scalar and bulk field primitives."""
+    """ops/sec for scalar and bulk field primitives, per backend."""
     import random
 
     count = 512 if smoke else 4096
-    for label, field in (("gf2k16_tables", GF2k(16)), ("gf2k32_clmul", GF2k(32))):
-        rng = random.Random(1)
-        a = [field.random_nonzero(rng) for _ in range(count)]
-        b = [field.random_nonzero(rng) for _ in range(count)]
+    for backend in backends():
+        for label, field in (
+            ("gf2k16_tables", GF2k(16, backend=backend)),
+            ("gf2k32_clmul", GF2k(32, backend=backend)),
+        ):
+            rng = random.Random(1)
+            a = [field.random_nonzero(rng) for _ in range(count)]
+            b = [field.random_nonzero(rng) for _ in range(count)]
 
-        cases = {
-            "mul_scalar": lambda: [field.mul(x, y) for x, y in zip(a, b)],
-            "mul_many": lambda: field.mul_many(a, b),
-            "inv_scalar": lambda: [field.inv(x) for x in a],
-            "batch_inv": lambda: field.batch_inv(a),
-            "dot": lambda: field.dot(a, b),
-        }
-        for op, fn in cases.items():
-            wall, _ = timed(fn, repeats=3)
-            results.append(
-                {
-                    "bench": "field_arithmetic",
-                    "field": label,
-                    "op": op,
-                    "elements": count,
-                    "wall_s": wall,
-                    "ops_per_s": count / wall if wall > 0 else None,
-                }
-            )
+            cases = {
+                "mul_scalar": lambda: [field.mul(x, y) for x, y in zip(a, b)],
+                "mul_many": lambda: field.mul_many(a, b),
+                "inv_scalar": lambda: [field.inv(x) for x in a],
+                "batch_inv": lambda: field.batch_inv(a),
+                "dot": lambda: field.dot(a, b),
+            }
+            for op, fn in cases.items():
+                wall, _ = timed(fn, repeats=3)
+                results.append(
+                    {
+                        "bench": "field_arithmetic",
+                        "backend": backend,
+                        "field": label,
+                        "op": op,
+                        "elements": count,
+                        "wall_s": wall,
+                        "ops_per_s": count / wall if wall > 0 else None,
+                    }
+                )
 
 
 def bench_batch_vss(results, smoke):
     n, t = 7, 2
     M = 16 if smoke else 64
-    field = GF2k(32)
-    for mode in MODES:
-        with interpolation_mode(mode):
-            run_batch_vss(field, n, t, M=M, seed=3)  # warm-up / JIT caches
-            wall, (out, _) = timed(
-                lambda: run_batch_vss(field, n, t, M=M, seed=3),
-                repeats=1 if smoke else 3,
+    for backend in backends():
+        field = GF2k(32, backend=backend)
+        for mode in MODES:
+            with interpolation_mode(mode):
+                run_batch_vss(field, n, t, M=M, seed=3)  # warm-up / JIT caches
+                wall, (out, _) = timed(
+                    lambda: run_batch_vss(field, n, t, M=M, seed=3),
+                    repeats=3,
+                )
+            assert all(r.accepted for r in out.values())
+            results.append(
+                {
+                    "bench": "batch_vss",
+                    "backend": backend,
+                    "n": n,
+                    "t": t,
+                    "M": M,
+                    "mode": mode,
+                    "wall_s": wall,
+                    "ops_per_s": M / wall if wall > 0 else None,
+                }
             )
-        assert all(r.accepted for r in out.values())
-        results.append(
-            {
-                "bench": "batch_vss",
-                "n": n,
-                "t": t,
-                "M": M,
-                "mode": mode,
-                "wall_s": wall,
-                "ops_per_s": M / wall if wall > 0 else None,
-            }
-        )
+
+
+def bench_ntt_gfp(results, smoke):
+    """Batch-VSS over an NTT-friendly prime field, wide enough (n=33)
+    that the ``ntt`` interpolation mode actually takes the transform
+    path — the only bench where all four modes differ."""
+    q = find_ntt_prime(1 << 20, 4096)
+    n, t = 33, 10
+    M = 2 if smoke else 8
+    for backend in backends():
+        field = GFp(q, backend=backend)
+        for mode in MODES + ("ntt",):
+            with interpolation_mode(mode):
+                run_batch_vss(field, n, t, M=M, seed=3)  # warm-up
+                # best-of-3 even in smoke: at n=33 the cached modes run in
+                # single-digit milliseconds, where a one-shot measurement
+                # makes the regression-gate ratios too noisy
+                wall, (out, _) = timed(
+                    lambda: run_batch_vss(field, n, t, M=M, seed=3),
+                    repeats=3,
+                )
+            assert all(r.accepted for r in out.values())
+            results.append(
+                {
+                    "bench": "batch_vss_gfp",
+                    "backend": backend,
+                    "q": q,
+                    "n": n,
+                    "t": t,
+                    "M": M,
+                    "mode": mode,
+                    "wall_s": wall,
+                    "ops_per_s": M / wall if wall > 0 else None,
+                }
+            )
 
 
 def coin_gen_conformance(n, t, M, field):
@@ -156,58 +216,65 @@ def coin_gen_conformance(n, t, M, field):
 
 def bench_coin_gen(results, smoke):
     configs = [(7, 1, 8)] if smoke else [(7, 1, 16), (13, 2, 64)]
-    field = GF2k(32)
     for n, t, M in configs:
-        phases, conformance = coin_gen_conformance(n, t, M, field)
-        for mode in MODES:
-            with interpolation_mode(mode):
-                wall, (out, _) = timed(
-                    lambda: run_coin_gen(field, n, t, M=M, seed=5)
-                )
-            assert all(o.success for o in out.values())
-            results.append(
-                {
+        phases, conformance = coin_gen_conformance(n, t, M, GF2k(32))
+        for backend in backends():
+            field = GF2k(32, backend=backend)
+            for mode in MODES:
+                with interpolation_mode(mode):
+                    run_coin_gen(field, n, t, M=M, seed=5)  # warm-up
+                    wall, (out, _) = timed(
+                        lambda: run_coin_gen(field, n, t, M=M, seed=5),
+                        repeats=3,
+                    )
+                assert all(o.success for o in out.values())
+                row = {
                     "bench": "coin_gen",
+                    "backend": backend,
                     "n": n,
                     "t": t,
                     "M": M,
                     "mode": mode,
                     "wall_s": wall,
                     "ops_per_s": M / wall if wall > 0 else None,
-                    "phases": phases,
-                    "conformance": conformance,
                 }
-            )
+                if backend == "python":
+                    # the instrumented breakdown/audit is backend-invariant
+                    row["phases"] = phases
+                    row["conformance"] = conformance
+                results.append(row)
 
 
 def bench_coin_expose(results, smoke):
     """The acceptance bench: expose M coins over one fixed qualified set."""
     n, t, M = (7, 1, 8) if smoke else (13, 2, 64)
-    field = GF2k(32)
-    outputs, _ = run_coin_gen(field, n, t, M=M, seed=7)
-    assert all(o.success for o in outputs.values())
+    for backend in backends():
+        field = GF2k(32, backend=backend)
+        outputs, _ = run_coin_gen(field, n, t, M=M, seed=7)
+        assert all(o.success for o in outputs.values())
 
-    def expose_all():
-        for h in range(M):
-            values, _ = expose_coin(field, n, outputs, h, t)
-            assert len(set(values.values())) == 1
-            assert None not in values.values()
+        def expose_all():
+            for h in range(M):
+                values, _ = expose_coin(field, n, outputs, h, t)
+                assert len(set(values.values())) == 1
+                assert None not in values.values()
 
-    for mode in MODES:
-        with interpolation_mode(mode):
-            expose_all()  # warm-up (pre-builds caches in "shared" mode)
-            wall, _ = timed(expose_all)
-        results.append(
-            {
-                "bench": "coin_expose",
-                "n": n,
-                "t": t,
-                "M": M,
-                "mode": mode,
-                "wall_s": wall,
-                "ops_per_s": M / wall if wall > 0 else None,
-            }
-        )
+        for mode in MODES:
+            with interpolation_mode(mode):
+                expose_all()  # warm-up (pre-builds caches in "shared" mode)
+                wall, _ = timed(expose_all, repeats=3)
+            results.append(
+                {
+                    "bench": "coin_expose",
+                    "backend": backend,
+                    "n": n,
+                    "t": t,
+                    "M": M,
+                    "mode": mode,
+                    "wall_s": wall,
+                    "ops_per_s": M / wall if wall > 0 else None,
+                }
+            )
 
 
 def bench_critical_path(results, smoke):
@@ -267,23 +334,55 @@ def bench_critical_path(results, smoke):
 
 
 def speedups(results):
-    """mode=off wall-clock divided by fresh/shared, per (bench, config)."""
+    """Wall-clock ratios vs the python-backend off-mode baseline.
+
+    Python-backend rows keep the historical key shape
+    (``{bench}_n{n}_t{t}_M{M}_{mode}_vs_off``); numpy rows add
+    ``..._numpy_{mode}_vs_off`` keys — every ratio's denominator is that
+    configuration's *python off* wall, so numpy keys read as end-to-end
+    uplift over the classic baseline, not over numpy-off.  Bulk field
+    kernels additionally get direct cross-backend ratios
+    (``field_{label}_{op}_numpy_vs_python``).
+    """
     table = {}
     for row in results:
         if "mode" not in row:
             continue
         key = (row["bench"], row.get("n"), row.get("t"), row.get("M"))
-        table.setdefault(key, {})[row["mode"]] = row["wall_s"]
+        backend = row.get("backend", "python")
+        table.setdefault(key, {})[(backend, row["mode"])] = row["wall_s"]
     out = {}
-    for (bench, n, t, M), modes in table.items():
-        if "off" not in modes:
+    for (bench, n, t, M), walls in table.items():
+        base = walls.get(("python", "off"))
+        if not base:
             continue
         label = f"{bench}_n{n}_t{t}_M{M}"
-        for mode in ("fresh", "shared"):
-            if mode in modes and modes[mode] > 0:
-                out[f"{label}_{mode}_vs_off"] = round(
-                    modes["off"] / modes[mode], 2
-                )
+        for (backend, mode), wall in sorted(walls.items()):
+            if mode == "off" and backend == "python":
+                continue
+            if wall <= 0:
+                continue
+            infix = "" if backend == "python" else f"_{backend}"
+            out[f"{label}{infix}_{mode}_vs_off"] = round(base / wall, 2)
+    kernels = {}
+    for row in results:
+        if row.get("bench") != "field_arithmetic":
+            continue
+        key = (row["field"], row["op"])
+        kernels.setdefault(key, {})[row.get("backend", "python")] = \
+            row["wall_s"]
+    for (label, op), walls in sorted(kernels.items()):
+        if op.endswith("_scalar"):
+            continue  # scalar paths never dispatch to a backend
+        if label != "gf2k32_clmul":
+            # only the clmul kernels get gated ratios: the gf2k16 gather
+            # kernels hover near parity at bench sizes and their
+            # microsecond-scale walls are far too noisy for a 20% gate
+            continue
+        if "python" in walls and "numpy" in walls and walls["numpy"] > 0:
+            out[f"field_{label}_{op}_numpy_vs_python"] = round(
+                walls["python"] / walls["numpy"], 2
+            )
     return out
 
 
@@ -323,6 +422,8 @@ def check_regressions(payload, baseline_path, max_regression):
     Keys are matched exactly: every baseline speedup key must exist in
     the current run (the configurations are deterministic per flavour),
     and each current ratio must be >= baseline * (1 - max_regression).
+    Numpy-backend keys are skipped when the current run has no numpy —
+    the pure-python CI leg checks only the python rows.
     """
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     failures = []
@@ -333,7 +434,13 @@ def check_regressions(payload, baseline_path, max_regression):
             "(compare smoke-vs-smoke or full-vs-full only)"
         ]
     current = payload["speedups"]
+    available = set(payload.get("backends", ("python",)))
     for key, base in sorted(baseline.get("speedups", {}).items()):
+        if "_numpy" in key and "numpy" not in available:
+            # the baseline is recorded with numpy installed; a pure-python
+            # leg legitimately has no numpy rows to compare
+            print(f"  {key}: skipped (numpy backend unavailable)")
+            continue
         if key not in current:
             failures.append(f"{key}: present in baseline but missing from "
                             "this run (configuration drift?)")
@@ -436,6 +543,7 @@ def main(argv=None):
     results = []
     bench_field_arithmetic(results, args.smoke)
     bench_batch_vss(results, args.smoke)
+    bench_ntt_gfp(results, args.smoke)
     bench_coin_gen(results, args.smoke)
     bench_coin_expose(results, args.smoke)
     bench_critical_path(results, args.smoke)
@@ -444,10 +552,13 @@ def main(argv=None):
         "generated_by": "benchmarks/emit_bench_json.py",
         "smoke": args.smoke,
         "python": sys.version.split()[0],
+        "backends": list(backends()),
         "modes": {
             "off": "classic Lagrange + full Berlekamp-Welch (baseline)",
             "fresh": "Montgomery batch inversion, no cross-call cache",
             "shared": "batch inversion + cached barycentric weights",
+            "ntt": "shared cache + transform-based eval/interpolation "
+                   "where applicable (prime fields, >= 32 points)",
         },
         "results": results,
         "speedups": speedups(results),
@@ -475,11 +586,22 @@ def main(argv=None):
     for key, factor in payload["speedups"].items():
         print(f"  {key}: {factor}x")
     expose_key = [k for k in payload["speedups"] if k.startswith("coin_expose")
-                  and k.endswith("shared_vs_off")]
+                  and k.endswith("shared_vs_off")
+                  and "numpy" not in k]
     if expose_key and not args.smoke:
         factor = payload["speedups"][expose_key[0]]
         status = "OK" if factor >= 2.0 else "BELOW TARGET"
         print(f"coin exposure cached-vs-uncached: {factor}x ({status}, target >= 2x)")
+    best_gen = max(
+        (row["ops_per_s"] for row in results
+         if row["bench"] == "coin_gen" and row.get("n") == 13
+         and row["ops_per_s"]),
+        default=None,
+    )
+    if best_gen and not args.smoke:
+        status = "OK" if best_gen >= 883.0 else "BELOW TARGET"
+        print(f"coin_gen n=13 M=64 best: {best_gen:.0f} ops/s "
+              f"({status}, target >= 883 = 10x the PR-5 off baseline)")
 
     if args.baseline:
         print(f"regression guard vs {args.baseline} "

@@ -66,6 +66,10 @@ def _add_system_arguments(parser: argparse.ArgumentParser, default_n: int = 7,
                              "random within-round arrival order)")
     parser.add_argument("--sched-seed", type=int, default=0,
                         help="seed for the permuted scheduler")
+    parser.add_argument("--backend", choices=("auto", "python", "numpy"),
+                        default="auto",
+                        help="field bulk-kernel backend (auto = numpy when "
+                             "installed, else pure python)")
 
 
 def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
@@ -104,8 +108,9 @@ def _make_context(args: argparse.Namespace) -> ProtocolContext:
         else None
     )
     kwargs = {"recorder": recorder} if recorder is not None else {}
+    field = GF2k(args.k, backend=getattr(args, "backend", "auto"))
     return ProtocolContext.create(
-        GF2k(args.k), args.n, args.t, seed=args.seed, scheduler=scheduler,
+        field, args.n, args.t, seed=args.seed, scheduler=scheduler,
         **kwargs,
     )
 
@@ -456,7 +461,8 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
 
     from repro.analysis.rounds import predicted_rounds
     from repro.obs.critical_path import (
-        CostModel, critical_path, ops_from_recorder, what_if,
+        CostModel, critical_path, op_profile, op_profile_table,
+        ops_from_recorder, what_if,
     )
 
     ctx, _, causal = _run_instrumented_coin_gen(args, causal=True)
@@ -475,6 +481,13 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
         print(f"  run {run}: {label}")
     print()
     print(result.table())
+
+    profile_rows = None
+    if args.op_profile:
+        profile_rows = op_profile(graph, model, step_ops)
+        print()
+        print("op profile (critical-path contribution, heaviest first):")
+        print(op_profile_table(profile_rows))
 
     counterfactual = None
     if args.what_if is not None:
@@ -520,6 +533,8 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
             "depth_checks": depth_checks,
             "critical_path": result.to_dict(),
         }
+        if profile_rows is not None:
+            payload["op_profile"] = [row.to_dict() for row in profile_rows]
         if counterfactual is not None:
             payload["what_if"] = counterfactual.to_dict()
         with open(args.export, "w") as handle:
@@ -544,7 +559,8 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.verifier import report, verify_all
 
-    checks = verify_all(GF2k(args.k), n=args.n, t=args.t, M=args.M,
+    field = GF2k(args.k, backend=getattr(args, "backend", "auto"))
+    checks = verify_all(field, n=args.n, t=args.t, M=args.M,
                         seed=args.seed)
     print(report(checks))
     return 0 if all(check.passed for check in checks) else 1
@@ -653,6 +669,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds per message link (cost model)")
     critpath.add_argument("--per-element-latency", type=float, default=0.0,
                           help="extra seconds per field element carried")
+    critpath.add_argument("--op-profile", action="store_true",
+                          help="rank (phase, op) pairs by critical-path "
+                               "contribution — the vectorization targets")
     critpath.add_argument("--op-cost", default=None,
                           metavar="add=A,mul=M,inv=I,interp=P",
                           help="per-op compute seconds (default: free)")

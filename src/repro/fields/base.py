@@ -89,9 +89,27 @@ class Field(ABC):
     zero: Element
     #: multiplicative identity
     one: Element
+    #: coarse family tag backends dispatch on ("gf2k", "gfp", "generic")
+    kind = "generic"
 
     def __init__(self) -> None:
         self.counter = OpCounter()
+        #: bulk-kernel strategy object (see :mod:`repro.fields.backends`);
+        #: None = no backend layer, bulk ops run as metered scalar loops
+        self._backend = None
+
+    def _init_backend(self, backend: "str | None") -> None:
+        """Attach the bulk-kernel backend ``backend`` names (see
+        :func:`repro.fields.backends.resolve_backend`).  Concrete fields
+        call this at the end of construction, once their tables exist."""
+        from repro.fields.backends import resolve_backend
+
+        self._backend = resolve_backend(self, backend)
+
+    @property
+    def backend_name(self) -> str:
+        """Which backend computes this field's bulk kernels."""
+        return self._backend.name if self._backend is not None else "python"
 
     # -- arithmetic -------------------------------------------------------
     @abstractmethod
@@ -133,67 +151,147 @@ class Field(ABC):
 
     # -- bulk operations ---------------------------------------------------
     #
-    # The protocol hot paths (interpolation caches, shared-Horner dealing)
-    # work on whole vectors of elements at a time.  The base versions below
-    # delegate to the scalar methods; concrete fields override them with
-    # vectorized loops that touch the counter once per batch.  Either way
-    # the *totals* are identical to performing the operations one by one —
-    # except ``batch_inv``, which genuinely replaces n inversions with one
-    # inversion plus 3(n-1) multiplications (Montgomery's trick) and meters
-    # exactly what it performs.
+    # The protocol hot paths (interpolation caches, shared-Horner dealing,
+    # batched dot products) work on whole vectors of elements at a time.
+    # Metering happens HERE, once per batch, before the pluggable backend
+    # (:mod:`repro.fields.backends`) computes the result — so per-element
+    # op totals are identical whichever backend runs, and identical to
+    # performing the operations one by one.  Fields without a backend
+    # (``_backend is None``) fall through to metered scalar loops.  The
+    # exception is ``batch_inv``, which genuinely replaces n inversions
+    # with one inversion plus 3(n-1) multiplications (Montgomery's trick)
+    # and meters exactly what it performs.
 
     def mul_many(
         self, avec: Sequence[Element], bvec: Sequence[Element]
     ) -> List[Element]:
         """Elementwise products ``[a*b for a, b in zip(avec, bvec)]``."""
-        if len(avec) != len(bvec):
+        n = len(avec)
+        if n != len(bvec):
             raise ValueError("mul_many requires equal-length vectors")
-        return [self.mul(a, b) for a, b in zip(avec, bvec)]
+        backend = self._backend
+        if backend is None:
+            return [self.mul(a, b) for a, b in zip(avec, bvec)]
+        self.counter.muls += n
+        return backend.mul_many(avec, bvec)
 
     def dot(self, avec: Sequence[Element], bvec: Sequence[Element]) -> Element:
         """Inner product ``sum_i avec[i] * bvec[i]`` (zero for empty input)."""
-        if len(avec) != len(bvec):
+        n = len(avec)
+        if n != len(bvec):
             raise ValueError("dot requires equal-length vectors")
-        total = self.zero
-        first = True
-        for a, b in zip(avec, bvec):
-            p = self.mul(a, b)
-            total = p if first else self.add(total, p)
-            first = False
-        return total
+        if n == 0:
+            return self.zero
+        backend = self._backend
+        if backend is None:
+            total = self.zero
+            first = True
+            for a, b in zip(avec, bvec):
+                p = self.mul(a, b)
+                total = p if first else self.add(total, p)
+                first = False
+            return total
+        self.counter.muls += n
+        self.counter.adds += n - 1
+        return backend.dot(avec, bvec)
 
     def axpy_many(
         self, acc: Sequence[Element], xs: Sequence[Element], c: Element
     ) -> List[Element]:
         """One shared Horner step: ``[a*x + c for a, x in zip(acc, xs)]``."""
-        if len(acc) != len(xs):
+        n = len(acc)
+        if n != len(xs):
             raise ValueError("axpy_many requires equal-length vectors")
-        return [self.add(self.mul(a, x), c) for a, x in zip(acc, xs)]
+        backend = self._backend
+        if backend is None:
+            return [self.add(self.mul(a, x), c) for a, x in zip(acc, xs)]
+        self.counter.muls += n
+        self.counter.adds += n
+        return backend.axpy_many(acc, xs, c)
+
+    def fma_many(
+        self,
+        acc: Sequence[Element],
+        xs: Sequence[Element],
+        cs: Sequence[Element],
+    ) -> List[Element]:
+        """Fused multiply-add with a per-element addend:
+        ``[a*x + c for a, x, c in zip(acc, xs, cs)]``.
+
+        The multi-polynomial Horner step: evaluating G polynomials at m
+        points sweeps one width-``G*m`` ``fma_many`` per coefficient
+        (each polynomial contributing its own coefficient), the same
+        mul/add totals as G separate :meth:`axpy_many` sweeps.
+        """
+        n = len(acc)
+        if n != len(xs) or n != len(cs):
+            raise ValueError("fma_many requires equal-length vectors")
+        backend = self._backend
+        if backend is None:
+            return [
+                self.add(self.mul(a, x), c)
+                for a, x, c in zip(acc, xs, cs)
+            ]
+        self.counter.muls += n
+        self.counter.adds += n
+        return backend.fma_many(acc, xs, cs)
+
+    def dot_rows(
+        self, rows: Sequence[Sequence[Element]], vec: Sequence[Element]
+    ) -> List[Element]:
+        """Many inner products against one shared vector:
+        ``[dot(row, vec) for row in rows]``.
+
+        The batched-combination workhorse (Fig. 3 step 2 across all
+        dealers at once): same op totals as row-by-row :meth:`dot`, one
+        two-dimensional kernel instead of ``len(rows)`` narrow ones.
+        """
+        m = len(vec)
+        for row in rows:
+            if len(row) != m:
+                raise ValueError("dot_rows requires equal-length rows")
+        backend = self._backend
+        if backend is None:
+            return [self.dot(list(row), vec) for row in rows]
+        if m == 0:
+            return [self.zero] * len(rows)
+        self.counter.muls += len(rows) * m
+        self.counter.adds += len(rows) * (m - 1)
+        return backend.dot_rows(rows, vec)
 
     def batch_inv(self, vec: Sequence[Element]) -> List[Element]:
         """All inverses of ``vec`` via Montgomery's trick.
 
         One :meth:`inv` plus ``3(len(vec)-1)`` multiplications, however
         long the vector — the workhorse behind the interpolation cache's
-        one-time weight build.  Raises ``ZeroDivisionError`` if any
-        element is zero.
+        one-time weight build.  Raises ``ZeroDivisionError`` naming the
+        offending index if any element is zero (identical across
+        backends; see tests/test_backends.py).
         """
         n = len(vec)
         if n == 0:
             return []
-        for v in vec:
-            if v == self.zero:
-                raise ZeroDivisionError("batch_inv of a vector containing zero")
-        prefix = [vec[0]]
-        for v in vec[1:]:
-            prefix.append(self.mul(prefix[-1], v))
-        acc = self.inv(prefix[-1])
-        out: List[Element] = [self.zero] * n
-        for i in range(n - 1, 0, -1):
-            out[i] = self.mul(acc, prefix[i - 1])
-            acc = self.mul(acc, vec[i])
-        out[0] = acc
-        return out
+        zero = self.zero
+        for i, v in enumerate(vec):
+            if v == zero:
+                raise ZeroDivisionError(
+                    f"batch_inv of a vector containing zero (index {i})"
+                )
+        backend = self._backend
+        if backend is None:
+            prefix = [vec[0]]
+            for v in vec[1:]:
+                prefix.append(self.mul(prefix[-1], v))
+            acc = self.inv(prefix[-1])
+            out: List[Element] = [self.zero] * n
+            for i in range(n - 1, 0, -1):
+                out[i] = self.mul(acc, prefix[i - 1])
+                acc = self.mul(acc, vec[i])
+            out[0] = acc
+            return out
+        self.counter.invs += 1
+        self.counter.muls += 3 * (n - 1)
+        return backend.batch_inv(vec)
 
     # -- conversions ------------------------------------------------------
     @abstractmethod

@@ -82,10 +82,16 @@ class GF2k(Field):
         reduction) instead of the interleaved shift-and-xor loop — an
         O(k^1.585) strategy for large k (E11 ablation arm).  Mutually
         exclusive with ``tables``.
+    backend:
+        Bulk-kernel backend: ``"python"``, ``"numpy"``, or ``"auto"``
+        (numpy when installed; see :mod:`repro.fields.backends`).
     """
 
+    kind = "gf2k"
+
     def __init__(self, k: int, modulus: Optional[int] = None,
-                 tables: Optional[bool] = None, karatsuba: bool = False):
+                 tables: Optional[bool] = None, karatsuba: bool = False,
+                 backend: Optional[str] = "auto"):
         super().__init__()
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -114,6 +120,7 @@ class GF2k(Field):
             if k > _TABLE_MAX_K:
                 raise ValueError(f"log/exp tables limited to k <= {_TABLE_MAX_K}")
             self._build_tables()
+        self._init_backend(backend)
 
     # -- internal ----------------------------------------------------------
     def _raw_mul(self, a: int, b: int) -> int:
@@ -198,7 +205,7 @@ class GF2k(Field):
         # a^(2^k - 2) = a^(-1)
         return self._raw_pow(a, self.order - 2)
 
-    # -- bulk operations (vectorized; one counter bump per batch) -----------
+    # -- bulk-op pure loops (unmetered; see Field metering contract) --------
     def _mul0(self, a: int, b: int) -> int:
         """Unmetered zero-safe product (bulk-op building block)."""
         if a == 0 or b == 0:
@@ -207,11 +214,7 @@ class GF2k(Field):
             return self._exp[self._log[a] + self._log[b]]
         return self._raw_mul(a, b)
 
-    def mul_many(self, avec, bvec):
-        n = len(avec)
-        if n != len(bvec):
-            raise ValueError("mul_many requires equal-length vectors")
-        self.counter.muls += n
+    def _mul_many_pure(self, avec, bvec):
         exp, log = self._exp, self._log
         if exp is not None:
             return [exp[log[a] + log[b]] if a and b else 0
@@ -219,14 +222,7 @@ class GF2k(Field):
         raw = self._raw_mul
         return [raw(a, b) if a and b else 0 for a, b in zip(avec, bvec)]
 
-    def dot(self, avec, bvec):
-        n = len(avec)
-        if n != len(bvec):
-            raise ValueError("dot requires equal-length vectors")
-        if n == 0:
-            return 0
-        self.counter.muls += n
-        self.counter.adds += n - 1
+    def _dot_pure(self, avec, bvec):
         acc = 0
         exp, log = self._exp, self._log
         if exp is not None:
@@ -240,12 +236,7 @@ class GF2k(Field):
                     acc ^= raw(a, b)
         return acc
 
-    def axpy_many(self, acc, xs, c):
-        n = len(acc)
-        if n != len(xs):
-            raise ValueError("axpy_many requires equal-length vectors")
-        self.counter.muls += n
-        self.counter.adds += n
+    def _axpy_many_pure(self, acc, xs, c):
         exp, log = self._exp, self._log
         if exp is not None:
             return [(exp[log[a] + log[x]] if a and x else 0) ^ c
@@ -253,14 +244,20 @@ class GF2k(Field):
         raw = self._raw_mul
         return [(raw(a, x) if a and x else 0) ^ c for a, x in zip(acc, xs)]
 
-    def batch_inv(self, vec):
+    def _fma_many_pure(self, acc, xs, cs):
+        exp, log = self._exp, self._log
+        if exp is not None:
+            return [(exp[log[a] + log[x]] if a and x else 0) ^ c
+                    for a, x, c in zip(acc, xs, cs)]
+        raw = self._raw_mul
+        return [(raw(a, x) if a and x else 0) ^ c
+                for a, x, c in zip(acc, xs, cs)]
+
+    def _dot_rows_pure(self, rows, vec):
+        return [self._dot_pure(row, vec) for row in rows]
+
+    def _batch_inv_pure(self, vec):
         n = len(vec)
-        if n == 0:
-            return []
-        if 0 in vec:
-            raise ZeroDivisionError("batch_inv of a vector containing zero")
-        self.counter.invs += 1
-        self.counter.muls += 3 * (n - 1)
         mul = self._mul0
         prefix = [vec[0]]
         for v in vec[1:]:
@@ -285,6 +282,13 @@ class GF2k(Field):
 
     def to_int(self, a: int) -> int:
         return a
+
+    def __contains__(self, a: int) -> bool:
+        # ints are the canonical representation; the membership test is on
+        # the valid_element hot path, so skip the generic try/except
+        if type(a) is int:
+            return 0 <= a < self.order
+        return super().__contains__(a)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "tables" if self._exp is not None else "clmul"

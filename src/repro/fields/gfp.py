@@ -11,6 +11,8 @@ core protocols run over GF(2^k), but a prime field is needed by
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.fields.base import Field
 from repro.fields.irreducible import is_prime
 
@@ -18,7 +20,10 @@ from repro.fields.irreducible import is_prime
 class GFp(Field):
     """Integers modulo a prime ``p``, elements represented as ints in [0, p)."""
 
-    def __init__(self, p: int, check_prime: bool = True):
+    kind = "gfp"
+
+    def __init__(self, p: int, check_prime: bool = True,
+                 backend: Optional[str] = "auto"):
         super().__init__()
         if check_prime and not is_prime(p):
             raise ValueError(f"{p} is not prime")
@@ -27,6 +32,7 @@ class GFp(Field):
         self.bit_length = p.bit_length()
         self.zero = 0
         self.one = 1 % p
+        self._init_backend(backend)
 
     def add(self, a: int, b: int) -> int:
         self.counter.adds += 1
@@ -51,43 +57,28 @@ class GFp(Field):
         self.counter.invs += 1
         return pow(a, self.p - 2, self.p)
 
-    # -- bulk operations (vectorized; one counter bump per batch) -----------
-    def mul_many(self, avec, bvec):
-        n = len(avec)
-        if n != len(bvec):
-            raise ValueError("mul_many requires equal-length vectors")
-        self.counter.muls += n
+    # -- bulk-op pure loops (unmetered; see Field metering contract) --------
+    def _mul_many_pure(self, avec, bvec):
         p = self.p
         return [a * b % p for a, b in zip(avec, bvec)]
 
-    def dot(self, avec, bvec):
-        n = len(avec)
-        if n != len(bvec):
-            raise ValueError("dot requires equal-length vectors")
-        if n == 0:
-            return 0
-        self.counter.muls += n
-        self.counter.adds += n - 1
+    def _dot_pure(self, avec, bvec):
         # accumulate in the integers, one reduction at the end
         return sum(a * b for a, b in zip(avec, bvec)) % self.p
 
-    def axpy_many(self, acc, xs, c):
-        n = len(acc)
-        if n != len(xs):
-            raise ValueError("axpy_many requires equal-length vectors")
-        self.counter.muls += n
-        self.counter.adds += n
+    def _axpy_many_pure(self, acc, xs, c):
         p = self.p
         return [(a * x + c) % p for a, x in zip(acc, xs)]
 
-    def batch_inv(self, vec):
+    def _fma_many_pure(self, acc, xs, cs):
+        p = self.p
+        return [(a * x + c) % p for a, x, c in zip(acc, xs, cs)]
+
+    def _dot_rows_pure(self, rows, vec):
+        return [self._dot_pure(row, vec) for row in rows]
+
+    def _batch_inv_pure(self, vec):
         n = len(vec)
-        if n == 0:
-            return []
-        if 0 in vec:
-            raise ZeroDivisionError("batch_inv of a vector containing zero")
-        self.counter.invs += 1
-        self.counter.muls += 3 * (n - 1)
         p = self.p
         prefix = [vec[0]]
         for v in vec[1:]:
@@ -107,6 +98,13 @@ class GFp(Field):
 
     def to_int(self, a: int) -> int:
         return a
+
+    def __contains__(self, a: int) -> bool:
+        # ints are the canonical representation; the membership test is on
+        # the valid_element hot path, so skip the generic try/except
+        if type(a) is int:
+            return 0 <= a < self.p
+        return super().__contains__(a)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GFp(p={self.p})"

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Tuple
 
-from repro.net.metrics import NetworkMetrics
+from repro.net.metrics import NetworkMetrics, payload_field_elements
 
 #: destination sentinel: deliver to every player (n unicasts)
 ALL = 0
@@ -134,9 +134,13 @@ class Transport:
                     (dst, send.payload) for dst in range(1, self.n + 1)
                 )
             elif send.dst == ALL:
-                for dst in range(1, self.n + 1):
-                    self.metrics.record_unicast(send.payload)
-                    deliveries.append((dst, send.payload))
+                # size the payload once, not once per recipient
+                self.metrics.record_unicast_elements(
+                    payload_field_elements(send.payload), copies=self.n
+                )
+                deliveries.extend(
+                    (dst, send.payload) for dst in range(1, self.n + 1)
+                )
             else:
                 if not 1 <= send.dst <= self.n:
                     raise ProtocolViolation(f"bad destination {send.dst}")

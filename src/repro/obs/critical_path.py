@@ -366,6 +366,96 @@ def critical_path(
     return result
 
 
+@dataclass(frozen=True)
+class OpProfileRow:
+    """Critical-path contribution of one (phase, op-kind) pair."""
+
+    phase: str
+    op: str
+    count: int
+    seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self.phase, "op": self.op,
+            "count": self.count, "seconds": self.seconds,
+        }
+
+
+def op_profile(
+    graph: CausalGraph,
+    model: Optional[CostModel] = None,
+    step_ops: Optional[StepOps] = None,
+    run: Optional[int] = None,
+) -> List[OpProfileRow]:
+    """Rank (phase, op) pairs by their critical-path contribution.
+
+    Walks the bounding chain of every run and attributes each on-path
+    step's recorded op counts to the phase of the dependency that bound
+    the step — i.e. only work that actually delays completion is
+    counted, which is what makes this the vectorization target list
+    rather than a flat op histogram.  Rows are ordered by priced seconds
+    when the model carries nonzero op weights, by raw counts under the
+    structural (free-compute) model.
+    """
+    model = model if model is not None else CostModel()
+    step_ops = step_ops or {}
+    result = critical_path(graph, model, step_ops, run)
+    weights = {
+        "adds": model.add,
+        "muls": model.mul,
+        "invs": model.inv,
+        "interpolations": model.interpolation,
+    }
+    counts: Dict[Tuple[str, str], int] = {}
+    seconds: Dict[Tuple[str, str], float] = {}
+    for run_path in result.runs:
+        edges = graph.edges_in_run(run_path.run)
+        ops_offset = min(edge.send_round for edge in edges) - 1
+        for step in run_path.path:
+            ops = step_ops.get(
+                (run_path.run, step.round - ops_offset, step.player)
+            )
+            if not ops:
+                continue
+            scale = model.player_compute_scale.get(step.player, 1.0)
+            for key in OP_KEYS:
+                count = ops.get(key, 0)
+                if not count:
+                    continue
+                pair = (step.phase, key)
+                counts[pair] = counts.get(pair, 0) + count
+                seconds[pair] = (
+                    seconds.get(pair, 0.0) + weights[key] * count * scale
+                )
+    priced = any(weight > 0 for weight in weights.values())
+    rows = [
+        OpProfileRow(phase=phase, op=op, count=counts[(phase, op)],
+                     seconds=seconds[(phase, op)])
+        for phase, op in counts
+    ]
+    rows.sort(
+        key=lambda row: (
+            -(row.seconds if priced else row.count), row.phase, row.op
+        )
+    )
+    return rows
+
+
+def op_profile_table(rows: List[OpProfileRow]) -> str:
+    """Fixed-width rendering of :func:`op_profile` for the CLI."""
+    header = f"{'phase':<16} {'op':<16} {'count':>12} {'seconds':>12}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.phase:<16} {row.op:<16} {row.count:>12} "
+            f"{row.seconds:>12.6f}"
+        )
+    if not rows:
+        lines.append("(no on-path op deltas recorded)")
+    return "\n".join(lines)
+
+
 @dataclass
 class WhatIf:
     """A straggler counterfactual: same graph, perturbed cost model."""

@@ -71,14 +71,41 @@ def berlekamp_welch(
     # — without the O(n^3) linear system.  Corrupted head points simply
     # fail the match count and fall through to the full decoder.
     if barycentric.cache_mode() != "off":
-        candidate = barycentric.cache_for(field).polynomial(
-            points[: degree + 1]
-        )
+        candidate = optimistic_candidate(field, points[: degree + 1])
         values = candidate.evaluate_many(xs)
         good = [i for i, (v, (_, y)) in enumerate(zip(values, points)) if v == y]
         if len(good) >= n - max_errors:
             return candidate, good
 
+    return full_decode(field, points, degree, max_errors)
+
+
+def optimistic_candidate(field: Field, points: Sequence[Point]) -> Polynomial:
+    """The head-interpolation candidate the optimistic fast path tests.
+
+    Exposed so batched decoders (``decode_batched_many``) can build many
+    candidates and verify them in one bulk evaluation sweep while paying
+    exactly the ops :func:`berlekamp_welch` would.
+    """
+    if barycentric.cache_mode() == "ntt":
+        from repro.poly import fast_eval
+
+        if fast_eval.ntt_applicable(field, len(points)):
+            return Polynomial(
+                field, fast_eval.fast_interpolate_coeffs(field, list(points))
+            )
+    return barycentric.cache_for(field).polynomial(list(points))
+
+
+def full_decode(
+    field: Field,
+    points: Sequence[Point],
+    degree: int,
+    max_errors: int,
+) -> Tuple[Polynomial, List[int]]:
+    """The key-equation decoder (no optimistic pre-pass, no re-metering)."""
+    points = list(points)
+    n = len(points)
     for e in range(max_errors, -1, -1):
         candidate = _try_decode(field, points, degree, e)
         if candidate is None:

@@ -1,0 +1,257 @@
+"""NTT-accelerated multipoint evaluation and interpolation over GF(p).
+
+The paper's speed argument hinges on transform-based polynomial
+arithmetic — "we use discrete Fourier transforms to do the
+multiplication ... in O(l log l) operations over Z_q" (Section 2).  This
+module puts the dormant :mod:`repro.fields.ntt` transform on the two
+protocol hot paths:
+
+* **multipoint evaluation** (Batch-VSS dealing: one polynomial at n
+  points) via remainder trees — O(n log^2 n) instead of Horner's O(dn);
+* **interpolation** (Coin-Expose reconstruction, Berlekamp-Welch's
+  optimistic candidate) via the derivative-of-the-master-polynomial
+  formula and a combine-up tree — O(n log^2 n) instead of Lagrange's
+  O(n^2).
+
+Both are gated behind the ``interpolation_mode("ntt")`` ablation switch
+(:mod:`repro.poly.barycentric`) and the :func:`ntt_applicable`
+predicate: the field must be GF(p) with ``p - 1`` divisible by the
+required transform size, and the job must be wide enough
+(:data:`MIN_POINTS`) for the asymptotics to matter.  Everywhere else the
+callers keep their existing Horner/barycentric paths, so outputs are
+byte-identical across modes (tests/test_ntt_paths.py).
+
+Metering: each transform-based product meters the textbook butterfly
+counts — three size-S transforms of ``(S/2) log2 S`` butterflies (one
+mul, two adds each), S pointwise products, and S inverse-scaling
+products — so the :class:`~repro.fields.base.OpCounter` and the PR 5
+cost model see the real O(l log l) profile rather than the schoolbook
+O(l^2) one.  The ``interpolations`` counter contract is unchanged: the
+barycentric/Berlekamp-Welch wrappers still bump it once per logical
+interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fields.base import Element, Field
+from repro.fields.ntt import poly_mul_ntt, poly_mul_schoolbook
+
+Point = Tuple[Element, Element]
+
+#: below this many points the O(n^2) barycentric/Horner paths win and the
+#: tree overhead (Newton inversions per node) is pure loss
+MIN_POINTS = 32
+
+
+def _next_pow2(n: int) -> int:
+    size = 1
+    while size < n:
+        size <<= 1
+    return size
+
+
+def ntt_applicable(field: Field, npoints: int) -> bool:
+    """Can the transform paths run over ``field`` for ``npoints`` nodes?
+
+    Requires a GF(p) field whose multiplicative group admits roots of
+    unity for every product the trees form (the largest has result
+    length ``2 * npoints``), and enough points to amortize the setup.
+    """
+    if getattr(field, "kind", None) != "gfp":
+        return False
+    if npoints < MIN_POINTS:
+        return False
+    return (field.p - 1) % _next_pow2(2 * npoints) == 0
+
+
+def poly_mul(
+    field: Field, a: List[int], b: List[int], omega_cache: Dict[int, int]
+) -> List[int]:
+    """Metered product of two Z_p coefficient lists (low-degree first).
+
+    Uses the NTT when ``p - 1`` admits the transform size, metering the
+    butterfly counts; otherwise meters and runs the schoolbook product.
+    """
+    if not a or not b:
+        return []
+    result_len = len(a) + len(b) - 1
+    size = _next_pow2(result_len)
+    p = field.p
+    if (p - 1) % size == 0 and size > 1:
+        stages = size.bit_length() - 1
+        field.counter.muls += 3 * (size // 2) * stages + 2 * size
+        field.counter.adds += 3 * size * stages
+        return poly_mul_ntt(a, b, p, omega_cache)
+    field.counter.muls += len(a) * len(b)
+    field.counter.adds += max(0, len(a) * len(b) - result_len)
+    return poly_mul_schoolbook(a, b, p)
+
+
+def _poly_inv_mod(
+    field: Field, h: List[int], k: int, omega_cache: Dict[int, int]
+) -> List[int]:
+    """Inverse of ``h`` modulo ``x^k`` by Newton iteration (``h[0] != 0``)."""
+    p = field.p
+    field.counter.invs += 1
+    g = [pow(h[0], p - 2, p)]
+    prec = 1
+    while prec < k:
+        prec = min(2 * prec, k)
+        hg = poly_mul(field, h[:prec], g, omega_cache)[:prec]
+        # g <- g * (2 - h*g) mod x^prec
+        correction = [(-c) % p for c in hg]
+        correction[0] = (correction[0] + 2) % p
+        field.counter.adds += 1
+        g = poly_mul(field, g, correction, omega_cache)[:prec]
+    return g
+
+
+def _rem(
+    field: Field, f: List[int], g: List[int], omega_cache: Dict[int, int]
+) -> List[int]:
+    """``f mod g`` over Z_p by reversal + Newton inversion (``g`` monic)."""
+    m = len(g) - 1
+    if m == 0:
+        return []
+    if len(f) - 1 < m:
+        return list(f)
+    p = field.p
+    k = len(f) - m  # quotient length
+    inv_rev_g = _poly_inv_mod(field, g[::-1], k, omega_cache)
+    q_rev = poly_mul(field, f[::-1][:k], inv_rev_g, omega_cache)[:k]
+    qg = poly_mul(field, q_rev[::-1], g, omega_cache)
+    field.counter.adds += m
+    return [(fc - qc) % p for fc, qc in zip(f[:m], qg[:m])]
+
+
+def _build_tree(
+    field: Field,
+    xs: Sequence[int],
+    lo: int,
+    hi: int,
+    nodes: Dict[Tuple[int, int], List[int]],
+    omega_cache: Dict[int, int],
+) -> List[int]:
+    """Subproduct tree: ``nodes[(lo, hi)] = prod_{lo <= i < hi} (x - xs[i])``."""
+    if hi - lo == 1:
+        node = [(-xs[lo]) % field.p, 1]
+    else:
+        mid = (lo + hi) // 2
+        left = _build_tree(field, xs, lo, mid, nodes, omega_cache)
+        right = _build_tree(field, xs, mid, hi, nodes, omega_cache)
+        node = poly_mul(field, left, right, omega_cache)
+    nodes[(lo, hi)] = node
+    return node
+
+
+def _eval_down(
+    field: Field,
+    f: List[int],
+    lo: int,
+    hi: int,
+    nodes: Dict[Tuple[int, int], List[int]],
+    out: List[int],
+    omega_cache: Dict[int, int],
+) -> None:
+    """Remainder tree descent: ``out[i] = f(xs[i])`` for ``lo <= i < hi``."""
+    if hi - lo == 1:
+        out[lo] = f[0] if f else 0
+        return
+    mid = (lo + hi) // 2
+    _eval_down(field, _rem(field, f, nodes[(lo, mid)], omega_cache),
+               lo, mid, nodes, out, omega_cache)
+    _eval_down(field, _rem(field, f, nodes[(mid, hi)], omega_cache),
+               mid, hi, nodes, out, omega_cache)
+
+
+def _combine_up(
+    field: Field,
+    cs: Sequence[int],
+    lo: int,
+    hi: int,
+    nodes: Dict[Tuple[int, int], List[int]],
+    omega_cache: Dict[int, int],
+) -> List[int]:
+    """Linear combination ``sum_i cs[i] * prod_{j != i} (x - xs[j])``."""
+    if hi - lo == 1:
+        return [cs[lo]]
+    mid = (lo + hi) // 2
+    p = field.p
+    left = _combine_up(field, cs, lo, mid, nodes, omega_cache)
+    right = _combine_up(field, cs, mid, hi, nodes, omega_cache)
+    a = poly_mul(field, left, nodes[(mid, hi)], omega_cache)
+    b = poly_mul(field, right, nodes[(lo, mid)], omega_cache)
+    if len(a) < len(b):
+        a, b = b, a
+    field.counter.adds += len(b)
+    out = list(a)
+    for i, c in enumerate(b):
+        out[i] = (out[i] + c) % p
+    return out
+
+
+def fast_eval_many(
+    field: Field, coeffs: Sequence[int], xs: Sequence[int]
+) -> List[int]:
+    """Evaluate the polynomial ``coeffs`` (low-degree first) at every ``xs``.
+
+    The remainder-tree algorithm: build the subproduct tree over ``xs``,
+    then push ``coeffs`` down taking remainders — identical values to
+    Horner, O(n log^2 n) transform work.
+    """
+    if not xs:
+        return []
+    if not coeffs:
+        return [field.zero] * len(xs)
+    omega_cache: Dict[int, int] = {}
+    nodes: Dict[Tuple[int, int], List[int]] = {}
+    n = len(xs)
+    _build_tree(field, xs, 0, n, nodes, omega_cache)
+    out = [field.zero] * n
+    f = _rem(field, list(coeffs), nodes[(0, n)], omega_cache)
+    _eval_down(field, f, 0, n, nodes, out, omega_cache)
+    return out
+
+
+def fast_interpolate_coeffs(
+    field: Field, points: Sequence[Point]
+) -> List[int]:
+    """Coefficients (low-degree first) of the interpolant through ``points``.
+
+    The classic O(n log^2 n) algorithm: with master polynomial
+    ``N(x) = prod (x - x_i)``, the interpolant is
+    ``sum_i (y_i / N'(x_i)) * N(x)/(x - x_i)`` — one subproduct tree,
+    one multipoint evaluation of ``N'``, one batch inversion, one
+    combine-up pass.
+    """
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    n = len(xs)
+    if n == 0:
+        return []
+    if n == 1:
+        return [ys[0]]
+    p = field.p
+    omega_cache: Dict[int, int] = {}
+    nodes: Dict[Tuple[int, int], List[int]] = {}
+    _build_tree(field, xs, 0, n, nodes, omega_cache)
+    master = nodes[(0, n)]
+    deriv = [(i * c) % p for i, c in enumerate(master)][1:]
+    field.counter.muls += len(master) - 1
+    dvals = [field.zero] * n
+    _eval_down(field, deriv, 0, n, nodes, dvals, omega_cache)
+    cs = field.mul_many(ys, field.batch_inv(dvals))
+    return _combine_up(field, cs, 0, n, nodes, omega_cache)
+
+
+def wants_fast_eval(field: Field, npoints: int) -> bool:
+    """Should ``evaluate_many`` take the transform path right now?
+
+    True only under the ``"ntt"`` interpolation mode *and* when
+    :func:`ntt_applicable` holds — so the default modes are untouched.
+    """
+    from repro.poly import barycentric
+
+    return barycentric.cache_mode() == "ntt" and ntt_applicable(field, npoints)

@@ -72,12 +72,19 @@ class Polynomial:
         A single pass over the coefficients updates all accumulators via
         the field's vectorized ``axpy_many`` — the same mul/add totals as
         per-point Horner, but one batched step per coefficient instead of
-        ``len(xs)`` interleaved scalar calls.
+        ``len(xs)`` interleaved scalar calls.  Under the ``"ntt"``
+        interpolation mode, qualifying jobs (GF(p), wide enough) switch
+        to the O(n log^2 n) remainder-tree evaluation instead.
         """
         f = self.field
         xs = list(xs)
         if not xs:
             return []
+        if len(xs) >= 32 and len(self.coeffs) >= 2:
+            from repro.poly import fast_eval
+
+            if fast_eval.wants_fast_eval(f, len(xs)):
+                return fast_eval.fast_eval_many(f, list(self.coeffs), xs)
         acc = [f.zero] * len(xs)
         for c in reversed(self.coeffs):
             acc = f.axpy_many(acc, xs, c)
@@ -155,6 +162,50 @@ class Polynomial:
         return f"Polynomial(deg={self.degree}, coeffs={self.coeffs!r})"
 
 
+def evaluate_polys(
+    field: Field,
+    polys: Sequence[Polynomial],
+    xs: Sequence[Element],
+) -> List[List[Element]]:
+    """``[p.evaluate_many(xs) for p in polys]`` as grouped wide sweeps.
+
+    The Batch-VSS dealing shape: G polynomials evaluated at the same m
+    points.  Polynomials are grouped by coefficient count and each group
+    swept with one width-``len(group) * m`` :meth:`Field.fma_many` per
+    coefficient — identical per-element op totals (no padding), but the
+    vectorized backends see width ``G*m`` instead of ``m``.
+    """
+    xs = list(xs)
+    results: List[List[Element]] = [[] for _ in polys]
+    if not xs or not polys:
+        return results
+    m = len(xs)
+    groups: dict = {}
+    for i, p in enumerate(polys):
+        if p.field is not field:
+            raise ValueError("evaluate_polys requires polynomials over `field`")
+        groups.setdefault(len(p.coeffs), []).append(i)
+    for ncoeff, idxs in groups.items():
+        if ncoeff == 0:
+            for i in idxs:
+                results[i] = [field.zero] * m
+            continue
+        if len(idxs) == 1:
+            # a lone group: the plain shared sweep already is the batch
+            results[idxs[0]] = polys[idxs[0]].evaluate_many(xs)
+            continue
+        xs_tiled = xs * len(idxs)
+        acc = [field.zero] * (m * len(idxs))
+        for ci in range(ncoeff - 1, -1, -1):
+            cs: List[Element] = []
+            for i in idxs:
+                cs.extend([polys[i].coeffs[ci]] * m)
+            acc = field.fma_many(acc, xs_tiled, cs)
+        for slot, i in enumerate(idxs):
+            results[i] = acc[slot * m:(slot + 1) * m]
+    return results
+
+
 def horner_batch(field: Field, values: Sequence[Element], r: Element) -> Element:
     """The paper's batched share combination (Fig. 3, step 2).
 
@@ -168,3 +219,32 @@ def horner_batch(field: Field, values: Sequence[Element], r: Element) -> Element
     for v in reversed(values[:-1]):
         acc = field.add(field.mul(acc, r), v)
     return field.mul(acc, r)
+
+
+def horner_batch_many(
+    field: Field,
+    rows: Sequence[Sequence[Element]],
+    r: Element,
+) -> List[Element]:
+    """:func:`horner_batch` across many rows sharing one challenge ``r``.
+
+    Equal to ``[horner_batch(field, row, r) for row in rows]`` — the
+    combination is ``sum_i row[i] * r^(i+1)``, so building the shared
+    power basis ``r^1 .. r^M`` once (``M - 1`` multiplications) turns
+    every row into one entry of a batched :meth:`Field.dot_rows`: the
+    same ``M`` mul / ``M - 1`` add totals per row, one wide kernel
+    instead of ``len(rows)`` narrow Horner chains.
+    """
+    rows = [list(row) for row in rows]
+    if not rows:
+        return []
+    m = len(rows[0])
+    for row in rows:
+        if len(row) != m:
+            raise ValueError("horner_batch_many requires equal-length rows")
+    if m == 0:
+        return [field.zero] * len(rows)
+    powers = [r]
+    for _ in range(m - 1):
+        powers.append(field.mul(powers[-1], r))
+    return field.dot_rows(rows, powers)

@@ -155,9 +155,9 @@ def run_batch_vss(
     scheme = ShamirScheme(field, n, t)
     total = M + (1 if blinding else 0)
     share_table: Dict[int, list] = {pid: [] for pid in range(1, n + 1)}
+    _, share_lists = scheme.deal_random_many(total, rng)
     for idx in range(total):
-        _, shares = scheme.deal(field.random(rng), rng)
-        values = {s.player_id: s.value for s in shares}
+        values = {s.player_id: s.value for s in share_lists[idx]}
         if cheat_dealings and idx in cheat_dealings:
             values.update(cheat_dealings[idx])
         if cheat_offsets and idx in cheat_offsets:

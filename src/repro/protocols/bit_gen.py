@@ -29,8 +29,16 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
 
 from repro.fields.base import Element, Field
-from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
-from repro.poly.polynomial import Polynomial, horner_batch
+from repro.poly import barycentric
+from repro.poly.berlekamp_welch import (
+    DecodingError,
+    berlekamp_welch,
+    full_decode,
+    max_correctable_errors,
+    optimistic_candidate,
+)
+from repro.poly.lagrange import _require_distinct
+from repro.poly.polynomial import Polynomial, evaluate_polys, horner_batch
 from repro.net.metrics import NetworkMetrics
 from repro.net.simulator import multicast, unicast
 from repro.obs.phases import register_tag_phase
@@ -81,6 +89,54 @@ def decode_batched(field: Field, points, t: int, n: int) -> Optional[Polynomial]
     return poly
 
 
+def decode_batched_many(field: Field, point_sets, t: int, n: int):
+    """:func:`decode_batched` over many independent point sets at once.
+
+    Result- and op-count-identical to decoding each set in turn, but the
+    optimistic Berlekamp-Welch candidates of every set are verified in a
+    single bulk evaluation sweep (grouped by shared evaluation points),
+    so vectorized field backends see one wide kernel instead of many
+    short ones.  Only sets whose candidate fails the match count — i.e.
+    actually-corrupted dealings — pay the full key-equation decode.
+    """
+    if barycentric.cache_mode() == "off":
+        return [decode_batched(field, pts, t, n) for pts in point_sets]
+    results: list = [None] * len(point_sets)
+    attempted = []  # (index, points, candidate)
+    for idx, pts in enumerate(point_sets):
+        pts = list(pts)
+        if len(pts) < n - t:
+            continue
+        xs = [x for x, _ in pts]
+        _require_distinct(xs)
+        field.counter.interpolations += 1
+        attempted.append((idx, pts, optimistic_candidate(field, pts[: t + 1])))
+    by_xs: Dict[tuple, list] = {}
+    for entry in attempted:
+        by_xs.setdefault(tuple(x for x, _ in entry[1]), []).append(entry)
+    for xs, entries in by_xs.items():
+        rows = evaluate_polys(
+            field, [candidate for _, _, candidate in entries], list(xs)
+        )
+        for (idx, pts, candidate), values in zip(entries, rows):
+            max_errors = min(
+                len(pts) - (n - t), max_correctable_errors(len(pts), t)
+            )
+            good = [
+                i for i, (v, (_, y)) in enumerate(zip(values, pts)) if v == y
+            ]
+            if len(good) < len(pts) - max_errors:
+                # corrupted head: same fall-through as berlekamp_welch,
+                # without re-paying the optimistic attempt
+                try:
+                    candidate, good = full_decode(field, pts, t, max_errors)
+                except DecodingError:
+                    continue
+            if len(good) >= n - t:
+                results[idx] = candidate
+    return results
+
+
 def bit_gen_program(
     field: Field,
     n: int,
@@ -108,7 +164,7 @@ def bit_gen_program(
         if dealer_polys is None or len(dealer_polys) != total:
             raise ValueError(f"dealer must supply {total} polynomials")
         all_points = [scheme.point(j) for j in range(1, n + 1)]
-        rows = [p.evaluate_many(all_points) for p in dealer_polys]
+        rows = evaluate_polys(field, dealer_polys, all_points)
         sends = [
             unicast(j, (tag + "/sh", tuple(row[j - 1] for row in rows)))
             for j in range(1, n + 1)

@@ -25,10 +25,15 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.fields.base import Element, Field
 from repro.obs.phases import register_tag_phase
-from repro.poly.polynomial import Polynomial, horner_batch
+from repro.poly.polynomial import (
+    Polynomial,
+    evaluate_polys,
+    horner_batch,
+    horner_batch_many,
+)
 from repro.net.simulator import multicast, unicast
 from repro.sharing.shamir import ShamirScheme
-from repro.protocols.bit_gen import decode_batched
+from repro.protocols.bit_gen import decode_batched_many
 from repro.protocols.coin_expose import CoinShare, coin_expose_many
 from repro.protocols.common import filter_tag, valid_element, valid_element_tuple
 
@@ -113,7 +118,7 @@ def verified_dealing(
         random_vanishing(field, t, rng, vanish_at) for _ in range(total)
     ]
     point_list = [points[j] for j in range(1, n + 1)]
-    rows = [p.evaluate_many(point_list) for p in my_polys]
+    rows = evaluate_polys(field, my_polys, point_list)
     sends = [
         unicast(j, (tag + "/sh", tuple(row[j - 1] for row in rows)))
         for j in range(1, n + 1)
@@ -143,12 +148,25 @@ def verified_dealing(
 
     # ---- Step 3: announce the vector of Horner combinations (one per
     # dealer), n^2 messages of size nk (Theorem 2).
-    nu_mine: List[object] = []
-    for j in range(1, n + 1):
-        if j in shares_from:
-            nu_mine.append(horner_batch(field, list(shares_from[j]), r_for[j]))
-        else:
-            nu_mine.append("missing")
+    # With the shared challenge (the paper's default) every present
+    # dealer's combination uses the same r, so the Horner chains batch
+    # into one wide dot against the shared power basis r^1..r^M.
+    nu_mine: List[object] = ["missing"] * n
+    if shared_challenge:
+        present = sorted(shares_from)
+        combos = horner_batch_many(
+            field,
+            [list(shares_from[j]) for j in present],
+            r_for[present[0]] if present else challenges[0],
+        )
+        for j, combo in zip(present, combos):
+            nu_mine[j - 1] = combo
+    else:
+        for j in range(1, n + 1):
+            if j in shares_from:
+                nu_mine[j - 1] = horner_batch(
+                    field, list(shares_from[j]), r_for[j]
+                )
     inbox = yield [multicast((tag + "/nu", tuple(nu_mine)))]
     nu_recv: Dict[int, tuple] = {
         src: body
@@ -156,15 +174,19 @@ def verified_dealing(
         if isinstance(body, tuple) and len(body) == n
     }
 
-    # ---- Steps 4-5: local decoding of every Bit-Gen instance.
-    decoded: Dict[int, Optional[Polynomial]] = {}
-    for j in range(1, n + 1):
-        pts = [
+    # ---- Steps 4-5: local decoding of every Bit-Gen instance.  The n
+    # per-dealer decodes are independent, so their optimistic candidates
+    # are verified in one bulk sweep.
+    point_sets = [
+        [
             (points[src], vec[j - 1])
             for src, vec in sorted(nu_recv.items())
             if valid_element(field, vec[j - 1])
         ]
-        poly = decode_batched(field, pts, t, n)
+        for j in range(1, n + 1)
+    ]
+    decoded: Dict[int, Optional[Polynomial]] = {}
+    for j, poly in enumerate(decode_batched_many(field, point_sets, t, n), 1):
         if (
             poly is not None
             and vanish_at is not None

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from repro.fields.base import Element, Field
 from repro.poly.barycentric import interpolate_at_cached
 from repro.poly.berlekamp_welch import DecodingError, berlekamp_welch
-from repro.poly.polynomial import Polynomial
+from repro.poly.polynomial import Polynomial, evaluate_polys
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,28 @@ class ShamirScheme:
         values = poly.evaluate_many(self._points)
         shares = [Share(i + 1, v) for i, v in enumerate(values)]
         return poly, shares
+
+    def deal_random_many(
+        self, count: int, rng
+    ) -> Tuple[List[Polynomial], List[List[Share]]]:
+        """Deal ``count`` uniformly random secrets (the Batch-VSS step 1 shape).
+
+        Randomness is drawn exactly as ``count`` successive :meth:`deal`
+        calls with ``field.random(rng)`` secrets — seeded runs are
+        unchanged — but the evaluations run as one grouped
+        multi-polynomial sweep (:func:`~repro.poly.polynomial.
+        evaluate_polys`), width ``count * n`` instead of ``count``
+        sweeps of width ``n``.
+        """
+        polys = []
+        for _ in range(count):
+            secret = self.field.random(rng)
+            polys.append(self.share_polynomial(secret, rng))
+        rows = evaluate_polys(self.field, polys, self._points)
+        share_lists = [
+            [Share(i + 1, v) for i, v in enumerate(row)] for row in rows
+        ]
+        return polys, share_lists
 
     def share_for(self, poly: Polynomial, player_id: int) -> Share:
         """Evaluate a dealing polynomial for one player."""

@@ -18,6 +18,8 @@ from repro.obs.causality import CausalGraph, CausalRecorder, MessageEdge
 from repro.obs.critical_path import (
     CostModel,
     critical_path,
+    op_profile,
+    op_profile_table,
     ops_from_recorder,
     what_if,
 )
@@ -214,3 +216,57 @@ class TestOpsFromRecorder:
         assert all(key.startswith("run") for key in payload["coin_exposures"])
         table = result.table()
         assert "slowest chain" in table and "exposure" in table
+
+
+class TestOpProfile:
+    def test_structural_model_ranks_by_count(self):
+        graph, recorder = instrumented_run()
+        step_ops, _ = ops_from_recorder(recorder)
+        rows = op_profile(graph, CostModel(), step_ops)
+        assert rows, "a real run must put some ops on the critical path"
+        counts = [row.count for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        # the structural model prices compute at zero
+        assert all(row.seconds == 0.0 for row in rows)
+
+    def test_priced_model_ranks_by_seconds(self):
+        graph, recorder = instrumented_run()
+        step_ops, _ = ops_from_recorder(recorder)
+        model = CostModel(add=1e-9, mul=5e-8, inv=1e-6, interpolation=1e-5)
+        rows = op_profile(graph, model, step_ops)
+        seconds = [row.seconds for row in rows]
+        assert seconds == sorted(seconds, reverse=True)
+        assert all(row.seconds > 0.0 for row in rows)
+        # row pricing is exactly weight * count (no hidden scaling at 1.0)
+        weights = {"adds": model.add, "muls": model.mul,
+                   "invs": model.inv, "interpolations": model.interpolation}
+        for row in rows:
+            assert row.seconds == pytest.approx(weights[row.op] * row.count)
+
+    def test_on_path_subset_of_flat_histogram(self):
+        """Profile counts only bounding-chain work, never more than the
+        flat per-(phase, op) histogram over all steps."""
+        graph, recorder = instrumented_run()
+        step_ops, _ = ops_from_recorder(recorder)
+        rows = op_profile(graph, CostModel(), step_ops)
+        flat_totals = {}
+        for ops in step_ops.values():
+            for key, count in ops.items():
+                flat_totals[key] = flat_totals.get(key, 0) + count
+        profiled = {}
+        for row in rows:
+            profiled[row.op] = profiled.get(row.op, 0) + row.count
+        for op, count in profiled.items():
+            assert count <= flat_totals.get(op, 0)
+
+    def test_table_and_dict(self):
+        graph, recorder = instrumented_run()
+        step_ops, _ = ops_from_recorder(recorder)
+        rows = op_profile(graph, CostModel(), step_ops)
+        table = op_profile_table(rows)
+        assert "phase" in table and "count" in table
+        assert rows[0].phase in table
+        payload = rows[0].to_dict()
+        assert payload["op"] == rows[0].op
+        assert payload["count"] == rows[0].count
+        assert op_profile_table([]).endswith("(no on-path op deltas recorded)")

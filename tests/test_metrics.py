@@ -54,6 +54,72 @@ class TestPayloadSizing:
         assert payload_field_elements(("tag", _SlottedPayload(1, (2,)))) == 2
 
 
+def _reference_elements(payload):
+    """The naive recursive sizing the fast walk must agree with."""
+    import dataclasses
+
+    if isinstance(payload, bool):
+        return 0
+    if isinstance(payload, int):
+        return 1
+    if payload is None or isinstance(payload, (str, bytes)):
+        return 0
+    if isinstance(payload, dict):
+        return sum(_reference_elements(k) + _reference_elements(v)
+                   for k, v in payload.items())
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(_reference_elements(item) for item in payload)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return sum(_reference_elements(getattr(payload, f.name))
+                   for f in dataclasses.fields(payload))
+    if hasattr(payload, "__dict__"):
+        return _reference_elements(vars(payload))
+    return 0
+
+
+class _Bag:
+    def __init__(self):
+        self.x = 7
+        self.name = "bag"
+        self.rest = (1, 2, (3,))
+
+
+class TestPayloadFastWalkEquivalence:
+    """The iterative fast-path walk sizes every shape exactly like the
+    recursive reference — the optimization must never change billing."""
+
+    SHAPES = [
+        0,
+        True,
+        (True, False, 1),
+        ("cg/sh", (10, 20, 30)),
+        [1, "x", [2, [3, [4]]], None],
+        {"a": 1, 2: (3, 4), "meta": {"k": True}},
+        {5, 6, 7},
+        frozenset({(1, 2)}),
+        _SlottedPayload(1, (2, 3)),
+        _PlainPayload(9, (8, _SlottedPayload(7, ()))),
+        ("tag", [_PlainPayload(1, (2,)), {"v": [3, 4]}]),
+        b"raw-bytes",
+        (2.5, 1),  # non-int leaf: float counts 0, like the reference
+    ]
+
+    def test_matches_recursive_reference(self):
+        for shape in self.SHAPES:
+            assert payload_field_elements(shape) == \
+                _reference_elements(shape), shape
+
+    def test_object_with_dict(self):
+        bag = _Bag()
+        assert payload_field_elements(bag) == _reference_elements(bag) == 4
+
+    def test_deep_flat_vectors(self):
+        # the hot shape: flat tuples of ints (share vectors)
+        vec = tuple(range(500))
+        assert payload_field_elements(("tag", vec)) == 500
+        assert payload_field_elements([vec, list(vec)]) == 1000
+
+
 class TestNetworkMetrics:
     def test_record_and_summary(self):
         m = NetworkMetrics(element_bits=16)
@@ -64,6 +130,20 @@ class TestNetworkMetrics:
         assert m.paper_messages == 2
         assert m.bits == 16 * 3
         assert m.summary()["messages"] == 2
+
+    def test_record_unicast_elements_matches_fanout_loop(self):
+        """Multicast sizing (one walk, n copies) bills exactly like n
+        individual record_unicast calls."""
+        payload = ("t", (1, 2, 3))
+        fanout = NetworkMetrics(element_bits=16)
+        loop = NetworkMetrics(element_bits=16)
+        fanout.record_unicast_elements(
+            payload_field_elements(payload), copies=5
+        )
+        for _ in range(5):
+            loop.record_unicast(payload)
+        assert fanout.unicast_messages == loop.unicast_messages == 5
+        assert fanout.bits == loop.bits == 16 * 3 * 5
 
     def test_player_ops_accumulate(self):
         m = NetworkMetrics()

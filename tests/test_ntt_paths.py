@@ -1,0 +1,181 @@
+"""NTT-accelerated evaluation/interpolation vs the classic paths.
+
+Pins :mod:`repro.poly.fast_eval` (transform-based multipoint evaluation,
+remainder trees, Newton inversion, fast interpolation) to the
+Horner/Lagrange reference implementations, and asserts the protocol-level
+contract of the ``interpolation_mode("ntt")`` ablation: seeded outputs
+are byte-identical across every interpolation mode × backend combination,
+including Berlekamp-Welch error-correction cases.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import GF2k, GFp
+from repro.fields.backends import numpy_available
+from repro.fields.ntt import find_ntt_prime, poly_mul_schoolbook
+from repro.poly import fast_eval
+from repro.poly.barycentric import interpolation_mode
+from repro.poly.berlekamp_welch import berlekamp_welch
+from repro.poly.fast_eval import (
+    fast_eval_many,
+    fast_interpolate_coeffs,
+    ntt_applicable,
+    poly_mul,
+)
+from repro.poly.lagrange import interpolate
+from repro.poly.polynomial import Polynomial
+
+#: NTT-friendly prime: q ≡ 1 (mod 4096), q < 2^32 so the numpy uint64
+#: kernels apply to the same field
+Q = find_ntt_prime(1 << 20, 4096)
+FIELD = GFp(Q, backend="python")
+
+MODES = ("off", "fresh", "shared", "ntt")
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+def test_prime_is_ntt_friendly():
+    assert (Q - 1) % 4096 == 0
+    assert Q < (1 << 32)
+    assert ntt_applicable(FIELD, 40)
+    assert not ntt_applicable(FIELD, 8)  # below MIN_POINTS
+    assert not ntt_applicable(GF2k(16), 40)  # wrong field family
+
+
+def test_poly_mul_matches_schoolbook():
+    rng = random.Random(7)
+    for la, lb in ((1, 1), (3, 5), (17, 33), (64, 64)):
+        a = [rng.randrange(Q) for _ in range(la)]
+        b = [rng.randrange(Q) for _ in range(lb)]
+        assert poly_mul(FIELD, a, b, {}) == poly_mul_schoolbook(a, b, Q)
+
+
+def test_poly_mul_meters_transform_counts():
+    FIELD.counter.reset()
+    a = [1] * 33
+    b = [2] * 32
+    poly_mul(FIELD, a, b, {})
+    size = 64  # next power of two >= 33 + 32 - 1
+    stages = 6
+    assert FIELD.counter.muls == 3 * (size // 2) * stages + 2 * size
+    assert FIELD.counter.adds == 3 * size * stages
+    FIELD.counter.reset()
+
+
+def test_newton_inverse_mod_xk():
+    rng = random.Random(11)
+    h = [rng.randrange(1, Q)] + [rng.randrange(Q) for _ in range(40)]
+    for k in (1, 2, 7, 32, 41):
+        g = fast_eval._poly_inv_mod(FIELD, h, k, {})
+        prod = poly_mul_schoolbook(h, g, Q)[:k]
+        assert prod == [1] + [0] * (k - 1)
+
+
+def test_fast_rem_matches_divmod():
+    rng = random.Random(13)
+    f_coeffs = [rng.randrange(Q) for _ in range(80)]
+    xs = [rng.randrange(1, Q) for _ in range(20)]
+    # monic divisor: prod (x - xi), exactly the subproduct-tree shape
+    g = [1]
+    for x in xs:
+        g = poly_mul_schoolbook(g, [(-x) % Q, 1], Q)
+    remainder = fast_eval._rem(FIELD, f_coeffs, g, {})
+    _, expected = Polynomial(FIELD, f_coeffs).divmod(Polynomial(FIELD, g))
+    assert Polynomial(FIELD, remainder) == expected
+
+
+def test_fast_eval_many_matches_horner():
+    rng = random.Random(17)
+    for ncoeff in (2, 5, 33, 80):
+        coeffs = [rng.randrange(Q) for _ in range(ncoeff)]
+        xs = random.Random(19).sample(range(1, 4096), 40)
+        poly = Polynomial(FIELD, coeffs)
+        horner = [poly(x) for x in xs]
+        assert fast_eval_many(FIELD, coeffs, xs) == horner
+
+
+def test_fast_interpolate_matches_lagrange():
+    rng = random.Random(23)
+    xs = rng.sample(range(1, 4096), 40)
+    ys = [rng.randrange(Q) for _ in xs]
+    points = list(zip(xs, ys))
+    fast = Polynomial(FIELD, fast_interpolate_coeffs(FIELD, points))
+    classic = interpolate(FIELD, points)
+    assert fast == classic
+
+
+def test_evaluate_many_identical_across_modes():
+    """The Polynomial.evaluate_many hook must not change values."""
+    rng = random.Random(29)
+    coeffs = [rng.randrange(Q) for _ in range(12)]
+    xs = rng.sample(range(1, 4096), 40)
+    outputs = {}
+    for mode in MODES:
+        with interpolation_mode(mode):
+            outputs[mode] = Polynomial(FIELD, coeffs).evaluate_many(xs)
+    assert len({tuple(v) for v in outputs.values()}) == 1
+
+
+def _bw_case(field, degree, n, bad_positions, seed):
+    rng = random.Random(seed)
+    poly = Polynomial(field, [rng.randrange(field.order)
+                              for _ in range(degree + 1)])
+    xs = list(range(1, n + 1))
+    points = [(x, poly(x)) for x in xs]
+    for pos in bad_positions:
+        x, y = points[pos]
+        points[pos] = (x, (y + 1 + pos) % field.order)
+    return poly, points
+
+
+@pytest.mark.parametrize("bad", [(), (60, 65, 69), (0, 3, 64)],
+                         ids=["clean", "tail-errors", "head-errors"])
+def test_berlekamp_welch_identical_across_mode_matrix(bad):
+    """BW decoding (incl. error correction) is mode- and backend-invariant.
+
+    degree 31 so the optimistic candidate interpolates >= 32 points and
+    the ``"ntt"`` branch actually triggers; head errors force the fall
+    back to the full key-equation decoder under every mode.
+    """
+    degree, n = 31, 70
+    reference = None
+    for backend in BACKENDS:
+        field = GFp(Q, backend=backend)
+        truth, points = _bw_case(field, degree, n, bad, seed=31)
+        for mode in MODES:
+            with interpolation_mode(mode):
+                decoded, good = berlekamp_welch(field, points, degree)
+            assert decoded == Polynomial(field, list(truth.coeffs))
+            outcome = (tuple(decoded.coeffs), tuple(good))
+            if reference is None:
+                reference = outcome
+            assert outcome == reference, (backend, mode)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_vss_identical_across_modes(backend):
+    """Seeded Batch-VSS outputs are identical across the mode matrix.
+
+    n = 33 >= MIN_POINTS so the step-4 interpolation takes the transform
+    path under ``"ntt"``; the dealing sweep takes the fast multipoint
+    evaluation; every mode must agree bit-for-bit on every player's
+    verdict, the exposed challenge, and the metered traffic.
+    """
+    from repro.protocols.batch_vss import run_batch_vss
+
+    n, t, M = 33, 10, 4
+    outcomes = {}
+    for mode in MODES:
+        field = GFp(Q, backend=backend)
+        with interpolation_mode(mode):
+            results, metrics = run_batch_vss(field, n=n, t=t, M=M, seed=5)
+        assert all(res.accepted for res in results.values())
+        outcomes[mode] = (
+            {pid: (res.accepted, res.challenge)
+             for pid, res in results.items()},
+            metrics.bits,
+            metrics.paper_messages,
+        )
+    assert len({repr(v) for v in outcomes.values()}) == 1
