@@ -52,7 +52,11 @@ A ``critical_path`` row (per Coin-Gen configuration) records the
 happens-before DAG's structural depth, unit-latency makespan, per-phase
 critical-path attribution, per-coin exposure latencies, and a 10x
 straggler what-if delta — all deterministic (graph-derived, not
-wall-clock), so they are directly diffable across commits.
+wall-clock), so they are directly diffable across commits.  An
+``async_coin`` row records the event-driven runtime's delivery-count
+makespan and causal depth for the guarded coin exposure under seeded
+adversarial schedules (DESIGN.md §11), with its ``delivery_efficiency``
+ratio wired into the same ``--check-history`` gate.
 """
 
 from __future__ import annotations
@@ -333,6 +337,56 @@ def bench_critical_path(results, smoke):
         })
 
 
+def bench_async_coin(results, smoke):
+    """Deterministic async-runtime rows: the guarded coin exposure under
+    seeded adversarial delivery schedules (DESIGN.md §11).
+
+    Everything recorded is schedule-derived, not wall-clock — delivery
+    counts, logical-time makespan, causal-DAG depth — so the row is
+    byte-diffable across commits.  ``delivery_efficiency`` is the ratio
+    of *necessary* deliveries (every live player needs an ``n - t``
+    quorum of shares) to deliveries actually consumed before the run
+    terminated; it is wired into the ``--check-history`` gate, so a
+    guard-layer change that makes wakes lazier (more deliveries to
+    finish the same exposure) fails CI as a regression.
+    """
+    from repro.net import RandomOrderScheduler
+    from repro.obs.bus import EventBus
+    from repro.obs.causality import CausalRecorder
+    from repro.protocols.async_coin import run_async_coin
+
+    field = GF2k(32)
+    configs = [(7, 2, 4)] if smoke else [(7, 2, 8), (10, 3, 8)]
+    for n, t, coins in configs:
+        total_deliveries = 0
+        total_logical = 0
+        depths = []
+        for index in range(coins):
+            bus = EventBus()
+            causal = CausalRecorder(n=n).attach(bus)
+            outputs, secret, runtime = run_async_coin(
+                field, n, t, seed=index,
+                scheduler=RandomOrderScheduler(seed=100 + index),
+                bus=bus,
+            )
+            assert set(outputs.values()) == {secret}, "async coin not unanimous"
+            total_deliveries += runtime.delivery_count
+            total_logical += runtime.logical_time
+            depths.append(causal.graph().depth())
+        necessary = n * (n - t)  # each player a quorum of expose shares
+        results.append({
+            "bench": "async_coin",
+            "n": n, "t": t, "coins": coins,
+            "scheduler": "random-order",
+            "deliveries": total_deliveries,
+            "logical_time": total_logical,
+            "mean_causal_depth": round(sum(depths) / len(depths), 2),
+            "delivery_efficiency": round(
+                coins * necessary / total_deliveries, 4
+            ),
+        })
+
+
 def speedups(results):
     """Wall-clock ratios vs the python-backend off-mode baseline.
 
@@ -383,6 +437,14 @@ def speedups(results):
             out[f"field_{label}_{op}_numpy_vs_python"] = round(
                 walls["python"] / walls["numpy"], 2
             )
+    for row in results:
+        if row.get("bench") != "async_coin":
+            continue
+        # deterministic (schedule-derived) ratio; in the history gate a
+        # drop means the async runtime started needing more deliveries
+        key = (f"async_coin_n{row['n']}_t{row['t']}"
+               f"_c{row['coins']}_delivery_efficiency")
+        out[key] = row["delivery_efficiency"]
     return out
 
 
@@ -547,6 +609,7 @@ def main(argv=None):
     bench_coin_gen(results, args.smoke)
     bench_coin_expose(results, args.smoke)
     bench_critical_path(results, args.smoke)
+    bench_async_coin(results, args.smoke)
 
     payload = {
         "generated_by": "benchmarks/emit_bench_json.py",

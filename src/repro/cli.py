@@ -29,6 +29,16 @@ Commands
               arrows, ``--assert-depth`` gates the exit code on the DAG
               depth matching the ``analysis.rounds`` prediction.
 
+``toss``, ``trace``, and ``critpath`` accept ``--runtime lockstep|async``:
+under ``async`` each coin is exposed on an event-driven
+:class:`~repro.net.async_runtime.AsyncRuntime` where an adversarial
+(seed-deterministic) scheduler delivers one message at a time — sweep
+``--sched-seed`` to explore delivery orders, ``--crash PLAYERS`` to
+crash players from the start.  ``trace --runtime async --audit`` gates
+on unanimity plus live-vs-offline causal-graph equality; ``critpath
+--runtime async`` prices the async happens-before DAG (logical time =
+delivery count).
+
 ``toss``, ``trace``, and ``metrics`` accept ``--export chrome|jsonl|prom``
 (+ ``--export-out PATH``) to write the recorded spans as a Chrome
 trace-event JSON (open with Perfetto), newline-delimited JSON, or a
@@ -48,7 +58,7 @@ from typing import List, Optional
 from repro.analysis import complexity as cx
 from repro.core import BootstrapCoinSource
 from repro.fields import GF2k
-from repro.net import PermutedDeliveryScheduler
+from repro.net import PermutedDeliveryScheduler, RandomOrderScheduler
 from repro.obs import SpanRecorder, to_chrome_trace, to_jsonl, to_prometheus
 from repro.protocols.context import ProtocolContext
 from repro.protocols.vss import run_vss
@@ -60,12 +70,24 @@ def _add_system_arguments(parser: argparse.ArgumentParser, default_n: int = 7,
     parser.add_argument("--t", type=int, default=default_t, help="faults tolerated")
     parser.add_argument("--k", type=int, default=32, help="security parameter (field GF(2^k))")
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
-    parser.add_argument("--scheduler", choices=("lockstep", "permuted"),
+    parser.add_argument("--scheduler",
+                        choices=("lockstep", "permuted", "random"),
                         default="lockstep",
                         help="message delivery policy (permuted = seeded "
-                             "random within-round arrival order)")
+                             "random within-round arrival order, random = "
+                             "seeded adversarial order, one message at a "
+                             "time under --runtime async)")
     parser.add_argument("--sched-seed", type=int, default=0,
-                        help="seed for the permuted scheduler")
+                        help="seed for the permuted/random scheduler "
+                             "(sweep it to explore delivery orders)")
+    parser.add_argument("--runtime", choices=("lockstep", "async"),
+                        default="lockstep",
+                        help="execution model: synchronous rounds, or "
+                             "event-driven message-at-a-time delivery "
+                             "(logical time = delivery count)")
+    parser.add_argument("--crash", default=None, metavar="PLAYERS",
+                        help="comma-separated player ids crashed from the "
+                             "start (async runtime only)")
     parser.add_argument("--backend", choices=("auto", "python", "numpy"),
                         default="auto",
                         help="field bulk-kernel backend (auto = numpy when "
@@ -103,6 +125,8 @@ def _make_context(args: argparse.Namespace) -> ProtocolContext:
     scheduler = None
     if args.scheduler == "permuted":
         scheduler = PermutedDeliveryScheduler(seed=args.sched_seed)
+    elif args.scheduler == "random":
+        scheduler = RandomOrderScheduler(seed=args.sched_seed)
     recorder = (
         SpanRecorder() if getattr(args, "export", None) is not None
         else None
@@ -161,7 +185,90 @@ def _write_flight_log(args: argparse.Namespace, flight) -> None:
           file=sys.stderr)
 
 
+def _crashed_players(args: argparse.Namespace) -> set:
+    """The ``--crash`` flag parsed into a set of player ids."""
+    spec = getattr(args, "crash", None)
+    if spec is None or not spec.strip():
+        return set()
+    return {int(pid) for pid in spec.split(",")}
+
+
+def _run_async_coins(args: argparse.Namespace, ctx, count: int):
+    """Run ``count`` independent async coin exposures under ``ctx``.
+
+    Coin ``i`` runs under ``RandomOrderScheduler(sched_seed + i)`` — so
+    sweeping ``--sched-seed`` sweeps whole families of adversarial
+    delivery orders — unless a non-default ``--scheduler`` asked for a
+    specific policy.  Returns ``(values, runtimes, breaks)`` where
+    ``breaks`` lists ``(coin_index, distinct_values)`` unanimity
+    violations (which ≤ t crashes can never cause).
+    """
+    from repro.protocols.async_coin import run_async_coin
+
+    crashed = _crashed_players(args)
+    values, runtimes, breaks = [], [], []
+    for index in range(count):
+        scheduler = (
+            ctx.scheduler if args.scheduler != "lockstep"
+            else RandomOrderScheduler(seed=args.sched_seed + index)
+        )
+        outputs, _, runtime = run_async_coin(
+            ctx, coin_id=f"async-{index}", scheduler=scheduler,
+            crashed=crashed,
+        )
+        distinct = {ctx.field.to_int(v) for v in outputs.values()}
+        if len(distinct) != 1:
+            breaks.append((index, sorted(distinct)))
+        values.append(next(iter(outputs.values())))
+        runtimes.append(runtime)
+    return values, runtimes, breaks
+
+
+def _cmd_toss_async(args: argparse.Namespace) -> int:
+    """``toss --runtime async``: one event-driven exposure per coin."""
+    from repro.protocols.async_coin import async_coin_bit
+
+    ctx = _make_context(args)
+    flight = _attach_flight_recorder(args, ctx)
+    root = ctx.recorder.begin("toss", "root")
+    values, runtimes, breaks = _run_async_coins(args, ctx, args.count)
+    ctx.recorder.end(root)
+    for index, distinct in breaks:
+        print(f"UNANIMITY BREAK: coin {index} exposed {len(distinct)} "
+              f"distinct values {distinct}", file=sys.stderr)
+    if breaks:
+        return 1
+    if args.elements:
+        width = (args.k + 3) // 4
+        lines = [f"0x{ctx.field.to_int(v):0{width}x}" for v in values]
+    else:
+        bits = [async_coin_bit(v, ctx.field) for v in values]
+        lines = [
+            "".join(map(str, bits[start : start + 64]))
+            for start in range(0, len(bits), 64)
+        ]
+    for line in lines:
+        print(line)
+    if args.stats:
+        crashed = _crashed_players(args)
+        deliveries = sum(r.delivery_count for r in runtimes)
+        makespan = sum(r.logical_time for r in runtimes)
+        print()
+        print(f"{'coins exposed':42s} {len(values)}")
+        print(f"{'crashed players':42s} "
+              f"{','.join(map(str, sorted(crashed))) or 'none'}")
+        print(f"{'total deliveries':42s} {deliveries:,}")
+        print(f"{'logical-time makespan (sum)':42s} {makespan:,}")
+        print(f"{'mean logical time per coin':42s} "
+              f"{makespan / max(len(values), 1):,.1f}")
+    _write_export(args, ctx)
+    _write_flight_log(args, flight)
+    return 0
+
+
 def _cmd_toss(args: argparse.Namespace) -> int:
+    if args.runtime == "async":
+        return _cmd_toss_async(args)
     ctx = _make_context(args)
     flight = _attach_flight_recorder(args, ctx)
     root = ctx.recorder.begin("toss", "root")
@@ -276,9 +383,66 @@ def _run_instrumented_coin_gen(args: argparse.Namespace, causal: bool = False):
     return ctx, outputs, causal_recorder
 
 
+def _cmd_trace_async(args: argparse.Namespace) -> int:
+    """``trace --runtime async``: logical-time summary + async audit.
+
+    The audit (gated by ``--audit``) checks what lockstep lemma
+    conformance cannot cover asynchronously: every coin unanimous, and
+    the live happens-before graph canonically equal to its offline
+    reconstruction from the delivered-message stream.
+    """
+    from repro.obs.causality import CausalRecorder, graph_from_log
+    from repro.obs.flight import FlightRecorder
+
+    ctx = _make_context(args)
+    if not ctx.recorder.enabled:
+        ctx.recorder = SpanRecorder()
+    causal = CausalRecorder(n=ctx.n).attach(ctx.ensure_bus())
+    # always keep an in-memory flight recorder: live-vs-offline causal
+    # equality is part of the audit even without --flight-log
+    flight = FlightRecorder(n=ctx.n, t=ctx.t, field=ctx.field,
+                            seed=ctx.seed).attach(ctx.ensure_bus())
+    values, runtimes, breaks = _run_async_coins(args, ctx, args.M)
+
+    print(f"async trace: n={ctx.n}, t={ctx.t}, k={args.k}, "
+          f"coins={args.M}, sched-seed={args.sched_seed}")
+    crashed = _crashed_players(args)
+    if crashed:
+        print(f"crashed players: {','.join(map(str, sorted(crashed)))}")
+    print()
+    graph = causal.graph()
+    print(f"{'coin':<6} {'deliveries':>10} {'logical time':>13} "
+          f"{'causal depth':>13}")
+    print("-" * 45)
+    for index, runtime in enumerate(runtimes):
+        print(f"{index:<6} {runtime.delivery_count:>10} "
+              f"{runtime.logical_time:>13} {graph.depth(index + 1):>13}")
+
+    offline = graph_from_log(flight.log())
+    unanimous = not breaks
+    graphs_equal = graph == offline
+    print()
+    print(f"unanimity          : {'OK' if unanimous else 'BROKEN'} "
+          f"({args.M - len(breaks)}/{args.M} coins)")
+    for index, distinct in breaks:
+        print(f"  coin {index}: {len(distinct)} distinct values "
+              f"{distinct}")
+    print(f"live == offline DAG: {'OK' if graphs_equal else 'DIVERGED'} "
+          f"({len(graph.edges)} edges)")
+
+    if args.flight_log is not None:
+        _write_flight_log(args, flight)
+    _write_export(args, ctx)
+    if args.audit and not (unanimous and graphs_equal):
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.audit import audit_recorder, audit_rounds
 
+    if args.runtime == "async":
+        return _cmd_trace_async(args)
     ctx, outputs, _ = _run_instrumented_coin_gen(args)
     recorder = ctx.recorder
 
@@ -456,6 +620,82 @@ def _parse_op_costs(text: Optional[str]) -> dict:
     return out
 
 
+def _cmd_critpath_async(args: argparse.Namespace) -> int:
+    """``critpath --runtime async``: latency attribution on async DAGs.
+
+    Logical time replaces the round index, so the same longest-path
+    machinery prices adversarial delivery schedules; depth conformance
+    against the synchronous round model is (correctly) not asserted.
+    """
+    import json as json_module
+
+    from repro.obs.causality import CausalRecorder
+    from repro.obs.critical_path import CostModel, critical_path, what_if
+
+    ctx = _make_context(args)
+    if not ctx.recorder.enabled:
+        ctx.recorder = SpanRecorder()
+    causal = CausalRecorder(n=ctx.n).attach(ctx.ensure_bus())
+    flight = _attach_flight_recorder(args, ctx)
+    values, runtimes, breaks = _run_async_coins(args, ctx, args.M)
+    for index, distinct in breaks:
+        print(f"UNANIMITY BREAK: coin {index} exposed {distinct}",
+              file=sys.stderr)
+    graph = causal.graph()
+    model = CostModel(
+        base_latency=args.base_latency,
+        per_element_latency=args.per_element_latency,
+        **_parse_op_costs(args.op_cost),
+    )
+    result = critical_path(graph, model)
+
+    print(f"async critical path: n={ctx.n}, t={ctx.t}, k={args.k}, "
+          f"coins={args.M}, sched-seed={args.sched_seed} "
+          f"(base latency {args.base_latency:g}s/link)")
+    for index, runtime in enumerate(runtimes):
+        print(f"  run {index + 1}: async_coin — "
+              f"{runtime.delivery_count} deliveries, "
+              f"logical time {runtime.logical_time}, "
+              f"causal depth {graph.depth(index + 1)}")
+    print()
+    print(result.table())
+
+    counterfactual = None
+    if args.what_if is not None:
+        player, scale = _parse_what_if(args.what_if)
+        counterfactual = what_if(graph, model, player=player, scale=scale)
+        print()
+        print(counterfactual.table())
+
+    if args.export is not None:
+        payload = {
+            "params": {"n": ctx.n, "t": ctx.t, "k": args.k, "M": args.M,
+                       "seed": args.seed, "sched_seed": args.sched_seed,
+                       "runtime": "async"},
+            "deliveries": [r.delivery_count for r in runtimes],
+            "logical_times": [r.logical_time for r in runtimes],
+            "depths": {str(run): depth
+                       for run, depth in graph.depths().items()},
+            "critical_path": result.to_dict(),
+        }
+        if counterfactual is not None:
+            payload["what_if"] = counterfactual.to_dict()
+        with open(args.export, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote critical-path JSON to {args.export}", file=sys.stderr)
+
+    if args.chrome is not None:
+        content = to_chrome_trace(ctx.recorder, graph=graph,
+                                  flows=args.flows, model=model)
+        with open(args.chrome, "w") as handle:
+            handle.write(content)
+        print(f"wrote Chrome trace (with {args.flows} flow arrows) to "
+              f"{args.chrome}", file=sys.stderr)
+
+    _write_flight_log(args, flight)
+    return 1 if breaks else 0
+
+
 def _cmd_critpath(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -465,6 +705,8 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
         ops_from_recorder, what_if,
     )
 
+    if args.runtime == "async":
+        return _cmd_critpath_async(args)
     ctx, _, causal = _run_instrumented_coin_gen(args, causal=True)
     graph = causal.graph()
     step_ops, run_labels = ops_from_recorder(ctx.recorder)

@@ -31,10 +31,13 @@ from repro.net.transport import (
 from repro.net.scheduler import (
     LockstepScheduler,
     PermutedDeliveryScheduler,
+    RandomOrderScheduler,
     Scheduler,
 )
 from repro.net.faults import FaultPlane
-from repro.net.runtime import ProtocolRuntime
+from repro.net.guards import AnyWait, Guarded, Wait, guarded, wait_any
+from repro.net.runtime import ProtocolRuntime, RuntimeBase, RuntimeExhausted
+from repro.net.async_runtime import AsyncRuntime
 from repro.net.trace import Tracer
 from repro.net.metrics import NetworkMetrics, payload_field_elements
 from repro.net.adversary import (
@@ -59,8 +62,17 @@ __all__ = [
     "Scheduler",
     "LockstepScheduler",
     "PermutedDeliveryScheduler",
+    "RandomOrderScheduler",
     "FaultPlane",
+    "Wait",
+    "AnyWait",
+    "Guarded",
+    "guarded",
+    "wait_any",
+    "RuntimeBase",
     "ProtocolRuntime",
+    "AsyncRuntime",
+    "RuntimeExhausted",
     "Tracer",
     "NetworkMetrics",
     "payload_field_elements",

@@ -1,0 +1,300 @@
+"""Event-driven asynchronous runtime: one message delivered at a time.
+
+The async sibling of :class:`repro.net.runtime.ProtocolRuntime` (see
+DESIGN.md §11).  Instead of lock-step rounds, an :class:`AsyncRuntime`
+keeps a single pool of in-flight messages and repeatedly asks its
+scheduler to :meth:`~repro.net.scheduler.Scheduler.choose` the next one
+to deliver — the adversary picks the order, the runtime guarantees only
+*eventual* delivery.  **Logical time is the delivery count**: the
+makespan of a run is how many deliveries it took for every waited
+player to finish.
+
+Programs are the same generators the lockstep runtime runs, written in
+the guarded style of :mod:`repro.net.guards`: each ``yield`` carries a
+``Wait(tags, quorum)`` guard and the player sleeps until its cumulative
+inbox satisfies it (e.g. an ``n - t`` quorum on an echo tag).  Inboxes
+are *cumulative* — every payload delivered to the player so far — so a
+woken body re-derives its state idempotently from full history.  A
+plain (unguarded) yield means "wake me on any new delivery".  Rushing
+is rejected: the async adversary already controls every delivery.
+
+Fault semantics: ``crash(pid, r)`` stops the player from logical time
+``r`` on (its in-flight messages still deliver); ``silence`` suppresses
+sends emitted at matching times; edge rules are applied once per
+message when it is first picked — ``drop`` discards it, ``duplicate``
+re-enqueues a copy, ``delay(by=k)`` makes it ineligible for the next
+``k`` logical ticks (an idle tick is inserted when only immature
+messages remain).
+
+Observability rides the same EventBus topics as lockstep, with logical
+time as the round index: each delivery publishes one ``SENT`` event
+(provenance, pre-fault) immediately followed by one ``ROUND`` event
+(the settled delivery), so causal recorders, flight logs, replay/diff,
+and critical-path analysis work unchanged on async runs — one
+happens-before edge per delivered message, and live and offline
+(flight-log) causal graphs are canonically equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.fields.base import Field
+from repro.net.faults import DELAY, DROP, DUPLICATE, FaultPlane
+from repro.net.metrics import NetworkMetrics
+from repro.net.runtime import Inbox, Program, RuntimeBase
+from repro.net.scheduler import RandomOrderScheduler, Scheduler
+from repro.net.transport import (
+    ProtocolViolation,
+    Transport,
+    expansion_channels,
+    make_transport,
+)
+from repro.obs.bus import ROUND, RUN, SENT, EventBus
+
+
+def _inbox_size(inbox: Inbox) -> int:
+    return sum(len(payloads) for payloads in inbox.values())
+
+
+class AsyncRuntime(RuntimeBase):
+    """Runs player programs under adversarial message-at-a-time delivery.
+
+    Construction mirrors :class:`~repro.net.simulator.SynchronousNetwork`
+    (a transport is built for you from ``allow_broadcast`` /
+    ``enforce_codec`` unless one is passed); the default scheduler is a
+    :class:`~repro.net.scheduler.RandomOrderScheduler` with seed 0 —
+    pass one with your own seed to sweep delivery schedules.
+
+    ``max_deliveries`` bounds the logical clock; exhausting it (or
+    draining the in-flight pool with waited players still asleep)
+    raises :class:`~repro.net.runtime.RuntimeExhausted` naming the
+    stuck players and their awaited tags.
+
+    After ``run()``, ``logical_time`` holds the final clock (deliveries
+    plus idle ticks) and ``delivery_count`` the number of messages
+    actually delivered.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        field: Optional[Field] = None,
+        metrics: Optional[NetworkMetrics] = None,
+        transport: Optional[Transport] = None,
+        scheduler: Optional[Scheduler] = None,
+        faults: Optional[FaultPlane] = None,
+        max_deliveries: int = 100_000,
+        observer=None,
+        tracer=None,
+        recorder=None,
+        bus: Optional[EventBus] = None,
+        allow_broadcast: bool = True,
+        enforce_codec: bool = False,
+    ):
+        metrics = metrics or NetworkMetrics(
+            element_bits=field.bit_length if field is not None else 1
+        )
+        transport = transport or make_transport(
+            n, metrics,
+            allow_broadcast=allow_broadcast,
+            enforce_codec=enforce_codec,
+        )
+        super().__init__(
+            n,
+            field=field,
+            metrics=metrics,
+            transport=transport,
+            scheduler=scheduler or RandomOrderScheduler(),
+            faults=faults,
+            max_rounds=max_deliveries,
+            observer=observer,
+            tracer=tracer,
+            recorder=recorder,
+            bus=bus,
+        )
+        self.max_deliveries = max_deliveries
+        #: final logical clock of the last run (deliveries + idle ticks)
+        self.logical_time = 0
+        #: messages actually delivered in the last run
+        self.delivery_count = 0
+
+    # -- main loop -----------------------------------------------------------
+    def run(
+        self,
+        programs: Dict[int, Program],
+        wait_for: Optional[Iterable[int]] = None,
+    ) -> Dict[int, Any]:
+        """Run programs until every waited player finishes; {pid: output}.
+
+        Same contract as the lockstep
+        :meth:`~repro.net.runtime.ProtocolRuntime.run`: ``wait_for``
+        limits termination to the honest subset, scheduled crashes are
+        never waited for, unfinished generators are closed at the end.
+        """
+        for pid in programs:
+            if not 1 <= pid <= self.n:
+                raise ValueError(f"program for unknown player {pid}")
+        if self.scheduler.rushing:
+            raise ProtocolViolation(
+                "rushing is a synchronous-round notion; the async "
+                "scheduler already controls every delivery"
+            )
+        waited = set(programs) if wait_for is None else set(wait_for) & set(programs)
+        faults = self.faults
+        if faults is not None:
+            waited -= faults.crashed_players()
+        self.bus.publish(RUN, self.n)
+        self._reset_guard_state()
+        self._step_spans = []
+        outputs: Dict[int, Any] = {}
+        done: Dict[int, bool] = {pid: False for pid in programs}
+        cum: Dict[int, Inbox] = {pid: {} for pid in programs}
+        self._cum = cum
+        #: payload count a player had last time it stepped — drives the
+        #: "wake on anything new" semantics of unguarded yields
+        seen: Dict[int, int] = {pid: 0 for pid in programs}
+        crash_noted: set = set()
+        #: in-flight messages: [dst, src, payload, channel, ready_at,
+        #: fault_processed] — ready_at gates delay-rule maturation
+        pending: List[list] = []
+        clock = 0
+        steps = 0
+        # one program may step several times per delivery (cascading
+        # guards); bound total steps so a guard that re-fires without
+        # making progress cannot spin forever
+        step_budget = 4 * self.max_deliveries + 16 * self.n
+        capturing = self.bus.has_subscribers(SENT)
+        self.delivery_count = 0
+        self.logical_time = 0
+
+        def crashed(pid: int, tick: int) -> bool:
+            if faults is None or not faults.is_crashed(pid, max(tick, 1)):
+                return False
+            if pid not in crash_noted:
+                faults.note_player_fault(max(tick, 1), "crash", pid)
+                crash_noted.add(pid)
+            return True
+
+        def emit(pid: int, sends, tick: int) -> None:
+            if faults is not None and faults.is_silenced(pid, max(tick, 1)):
+                faults.note_player_fault(max(tick, 1), "silence", pid)
+                return
+            expanded = self._expand(pid, sends)
+            channels = expansion_channels(self.n, sends)
+            if len(channels) != len(expanded):
+                channels = ["?"] * len(expanded)
+            for (dst, payload), channel in zip(expanded, channels):
+                pending.append([dst, pid, payload, channel, tick, False])
+
+        def wake(pid: int, tick: int) -> None:
+            nonlocal steps
+            program = programs[pid]
+            while not done[pid]:
+                if crashed(pid, tick):
+                    return
+                inbox_now = cum.get(pid, {})
+                guard = self._guards.get(pid)
+                if guard is None:
+                    if _inbox_size(inbox_now) <= seen[pid]:
+                        return
+                elif not guard.satisfied(inbox_now):
+                    return
+                seen[pid] = _inbox_size(inbox_now)
+                steps += 1
+                if steps > step_budget:
+                    raise self._exhausted(
+                        waited, done,
+                        f"exceeded {step_budget} program steps (a guard "
+                        "keeps re-firing without the run finishing)",
+                    )
+                inbox = {src: list(msgs) for src, msgs in inbox_now.items()}
+                sends = self._advance(
+                    pid, program, inbox, outputs, done, round_no=max(tick, 1)
+                )
+                if sends:
+                    emit(pid, sends, tick)
+
+        # priming: step every (non-crashed) program once at logical time
+        # 0 to collect its initial sends and park its first guard
+        for pid in sorted(programs):
+            if crashed(pid, 1):
+                continue
+            sends = self._advance(pid, programs[pid], None, outputs, done,
+                                  round_no=0)
+            if sends:
+                emit(pid, sends, 0)
+        for pid in sorted(programs):
+            if not done[pid]:
+                wake(pid, 0)  # a quorum-0 guard may already be satisfied
+
+        while not all(done[pid] for pid in waited):
+            if not pending:
+                raise self._exhausted(
+                    waited, done,
+                    f"in-flight pool drained after {self.delivery_count} "
+                    "deliveries with players still waiting",
+                )
+            if clock >= self.max_deliveries:
+                raise self._exhausted(
+                    waited, done,
+                    f"exceeded max_deliveries={self.max_deliveries}",
+                )
+            eligible = [
+                i for i, entry in enumerate(pending) if entry[4] <= clock
+            ]
+            if not eligible:
+                clock += 1  # idle tick: only delayed traffic remains
+                continue
+            tick = clock + 1  # 1-based time of the delivery being decided
+            if faults is not None:
+                # note crashes taking effect by this tick *before* the
+                # tick's SENT/ROUND publish — flight recorders expect
+                # faults for time r ahead of r's round event
+                for pid in programs:
+                    if pid not in crash_noted and faults.is_crashed(pid, tick):
+                        faults.note_player_fault(tick, "crash", pid)
+                        crash_noted.add(pid)
+            pick = self.scheduler.choose(clock, len(eligible))
+            entry = pending.pop(eligible[pick % len(eligible)])
+            dst, src, payload, channel, _ready, processed = entry
+            if faults is not None and not processed:
+                rule = next(
+                    (r for r in faults.rules if r.matches(tick, src, dst)),
+                    None,
+                )
+                if rule is not None:
+                    faults._publish(tick, rule.kind, src, dst)
+                    if rule.kind == DROP:
+                        if capturing:
+                            # provenance without a matching delivery: the
+                            # causal recorder files it as a DroppedEmission
+                            self.bus.publish(
+                                SENT, tick, [(dst, src, payload, channel)]
+                            )
+                        continue
+                    if rule.kind == DELAY:
+                        entry[4] = tick + rule.delay
+                        entry[5] = True
+                        pending.append(entry)
+                        continue
+                    if rule.kind == DUPLICATE:
+                        pending.append(
+                            [dst, src, payload, channel, clock, True]
+                        )
+            clock += 1
+            self.metrics.rounds += 1
+            self.delivery_count += 1
+            if capturing:
+                self.bus.publish(SENT, clock, [(dst, src, payload, channel)])
+            self.bus.publish(ROUND, clock, [(dst, src, payload)])
+            if dst in cum:
+                cum[dst].setdefault(src, []).append(payload)
+                if not done[dst]:
+                    wake(dst, clock)
+
+        self.logical_time = clock
+        for pid, program in programs.items():
+            if not done.get(pid):
+                program.close()
+        return outputs

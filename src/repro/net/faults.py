@@ -145,6 +145,15 @@ class FaultPlane:
     def is_silenced(self, pid: int, round_no: int) -> bool:
         return round_no in self.silences.get(pid, frozenset())
 
+    def has_pending_delayed(self) -> bool:
+        """Is any delayed delivery still waiting to mature?
+
+        The runtimes consult this before declaring a quiet round truly
+        stuck: a round with no traffic and no runnable player can still
+        make progress if a ``delay`` rule holds matured-later messages.
+        """
+        return any(self._delayed.values())
+
     def _publish(self, round_no: int, kind: str, src: int, dst: int) -> None:
         if self.bus is not None:
             from repro.obs.bus import FAULT

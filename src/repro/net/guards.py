@@ -1,0 +1,137 @@
+"""Guard-annotated yields: one protocol body, two runtimes.
+
+The lockstep runtime hands every program a fresh inbox at every round
+boundary; the async runtime delivers one message at a time and must know
+*when a player has enough to act*.  A :class:`Wait` guard makes that
+condition explicit protocol state instead of implicit round structure::
+
+    inbox = yield guarded([multicast((tag + "/echo", v))],
+                          tags=(tag + "/echo",), quorum=n - t)
+
+reads "send my echo, then sleep until n-t distinct players have echoed".
+
+Semantics shared by both runtimes
+---------------------------------
+* A program picks its yield style at its **first** yield: a
+  :class:`Guarded` batch makes it a *guarded program*, a plain list of
+  sends keeps the historical round-batched contract.  Mixing styles
+  mid-program raises :class:`~repro.net.transport.ProtocolViolation`
+  (a later plain yield inside a guarded program is allowed and means
+  "wake me on anything new").
+* A guarded program receives **cumulative** inboxes — every payload
+  delivered to it since the run began, in ``{src: [payloads]}`` form —
+  so a woken body re-derives its state idempotently from full history.
+* The lockstep runtime satisfies guards trivially at round boundaries:
+  a guarded player steps in the first round whose cumulative inbox
+  satisfies its guard, which for quorum guards over honest traffic is
+  the round after the quorum's messages were sent.  The async runtime
+  re-checks the guard after every single delivery.  One body, two
+  schedules, identical outputs (see ``tests/test_async_runtime.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.net.trace import payload_tag
+from repro.net.transport import Send
+
+Inbox = Dict[Any, List[Any]]
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Sleep until ``quorum`` distinct senders have sent a matching tag.
+
+    A sender counts once when at least one of its pending payloads has a
+    :func:`~repro.net.trace.payload_tag` in ``tags`` — matching the
+    ``filter_tag`` convention protocol bodies use to read the inbox, so
+    "the guard fired" implies "the body will see the quorum".
+    """
+
+    tags: Tuple[str, ...]
+    quorum: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", tuple(self.tags))
+        if not self.tags:
+            raise ValueError("a Wait needs at least one tag")
+        if self.quorum < 0:
+            raise ValueError("quorum must be non-negative")
+
+    def satisfied(self, inbox: Inbox) -> bool:
+        if self.quorum == 0:
+            return True
+        senders = 0
+        for src, payloads in inbox.items():
+            if not isinstance(src, int):
+                continue  # e.g. the lockstep simulator's rush_peek entry
+            if any(payload_tag(payload) in self.tags for payload in payloads):
+                senders += 1
+                if senders >= self.quorum:
+                    return True
+        return False
+
+
+@dataclass(frozen=True)
+class AnyWait:
+    """Disjunction of :class:`Wait` guards: wake when any one fires."""
+
+    waits: Tuple[Wait, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "waits", tuple(self.waits))
+        if not self.waits:
+            raise ValueError("an AnyWait needs at least one Wait")
+
+    @property
+    def tags(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for wait in self.waits:
+            for tag in wait.tags:
+                if tag not in seen:
+                    seen.append(tag)
+        return tuple(seen)
+
+    def satisfied(self, inbox: Inbox) -> bool:
+        return any(wait.satisfied(inbox) for wait in self.waits)
+
+
+Guard = Union[Wait, AnyWait]
+
+
+def wait_any(*waits: Wait) -> AnyWait:
+    """OR-combine guards: ``yield guarded(sends, wait=wait_any(a, b))``."""
+    return AnyWait(tuple(waits))
+
+
+@dataclass(frozen=True)
+class Guarded:
+    """One guarded yield: emit ``sends``, then sleep until ``wait`` fires.
+
+    ``wait=None`` means "wake me on any new delivery" (async) / "step me
+    next round" (lockstep).
+    """
+
+    sends: Tuple[Send, ...]
+    wait: Optional[Guard] = None
+
+
+def guarded(
+    sends: Iterable[Send],
+    tags: Union[str, Iterable[str]] = (),
+    quorum: int = 1,
+    wait: Optional[Guard] = None,
+) -> Guarded:
+    """Build a :class:`Guarded` yield from sends plus a tag quorum.
+
+    Either pass ``tags`` (a tag or tuple of tags) and ``quorum``, or a
+    ready-made ``wait`` guard; with neither, the program wakes on any
+    new delivery.
+    """
+    if wait is None:
+        tag_tuple = (tags,) if isinstance(tags, str) else tuple(tags)
+        if tag_tuple:
+            wait = Wait(tag_tuple, quorum)
+    return Guarded(tuple(sends), wait)

@@ -1,18 +1,22 @@
-"""Protocol runtime: generator programs over transport + scheduler + faults.
+"""Protocol runtimes: generator programs over transport + scheduler + faults.
 
 The execution stack (see DESIGN.md, "Runtime architecture"):
 
 * :mod:`repro.net.transport` — what channels exist and what a ``Send``
   costs (metering, codec enforcement);
 * :mod:`repro.net.scheduler` — who steps when (rushing) and in what
-  order a round's deliveries land;
+  order deliveries land;
 * :mod:`repro.net.faults` — an optional fault plane that drops,
   duplicates, or delays edges and crashes/silences players;
-* this module — the synchronous round loop tying them together.
+* this module — the machinery shared by both sibling runtimes
+  (:class:`RuntimeBase`) and the synchronous round loop
+  (:class:`ProtocolRuntime`).  The event-driven sibling lives in
+  :mod:`repro.net.async_runtime`.
 
-Players are Python generators.  Each round a player *yields* a list of
-:class:`~repro.net.transport.Send` instructions and is *sent* back its
-inbox for that round — a dict mapping source player id to the list of
+Players are Python generators.  Each step a player *yields* a list of
+:class:`~repro.net.transport.Send` instructions (optionally wrapped in a
+:class:`~repro.net.guards.Guarded` batch carrying a wake-up guard) and
+is *sent* back an inbox — a dict mapping source player id to the list of
 payloads received from that source.  A generator's ``return`` value is
 the player's protocol output.  This shape makes honest protocol code
 read like the paper's per-player pseudocode, and makes a Byzantine
@@ -21,10 +25,11 @@ player just a different generator.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Iterable, List, Optional
+from typing import Any, Dict, Generator, Iterable, List, Optional, Tuple
 
-from repro.fields.base import Field
+from repro.fields.base import Field, OpCounter
 from repro.net.faults import FaultPlane
+from repro.net.guards import Guard, Guarded
 from repro.net.metrics import NetworkMetrics
 from repro.net.scheduler import LockstepScheduler, Scheduler
 from repro.net.trace import payload_tag
@@ -39,8 +44,6 @@ from repro.obs.bus import FAULT, ROUND, RUN, SENT, EventBus
 from repro.obs.phases import classify_tags
 from repro.obs.spans import NULL_RECORDER
 
-from repro.fields.base import OpCounter
-
 Payload = Any
 Inbox = Dict[int, List[Payload]]
 Program = Generator[List[Send], Inbox, Any]
@@ -48,8 +51,38 @@ Program = Generator[List[Send], Inbox, Any]
 _ZERO_OPS = OpCounter()
 
 
-class ProtocolRuntime:
-    """Runs ``n`` player programs in synchronous rounds over the stack.
+class RuntimeExhausted(ProtocolViolation):
+    """A run hit its scheduling limit with waited players still unfinished.
+
+    Raised when the lockstep runtime exhausts ``max_rounds`` (or proves no
+    further progress is possible: no runnable player, no in-flight or
+    delayed traffic) and when the async runtime exhausts
+    ``max_deliveries`` or drains its pending pool with guarded players
+    still asleep.  ``stuck`` maps each unfinished waited player to the
+    tags its current guard is waiting on (empty tuple for plain
+    round-batched programs).  Subclasses :class:`ProtocolViolation` so
+    existing ``max_rounds`` handling keeps working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stuck: Optional[Dict[int, Tuple[str, ...]]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.stuck: Dict[int, Tuple[str, ...]] = dict(stuck or {})
+
+
+class RuntimeBase:
+    """Machinery shared by the lockstep and async runtimes.
+
+    Owns the layer wiring (transport, scheduler, fault plane, event
+    bus), the program table bookkeeping (guard state, cumulative
+    inboxes), per-player :class:`~repro.fields.base.OpCounter`
+    attribution, and SENT/ROUND/FAULT publication plumbing.  Subclasses
+    provide ``run()``: :class:`ProtocolRuntime` steps every program once
+    per synchronous round; :class:`~repro.net.async_runtime.AsyncRuntime`
+    wakes a program whenever a delivery satisfies its guard.
 
     Parameters
     ----------
@@ -68,7 +101,7 @@ class ProtocolRuntime:
         (the historical semantics, byte for byte).
     faults:
         Optional :class:`~repro.net.faults.FaultPlane` applied to every
-        round's deliveries and to the stepping loop.
+        delivery and to the stepping loop.
     observer:
         Optional callable ``observer(round_number, deliveries)`` where
         deliveries is a list of (dst, src, payload).
@@ -127,6 +160,14 @@ class ProtocolRuntime:
             self.faults.bus = self.bus
         #: player-step spans of the in-flight round (phase backfilled)
         self._step_spans: List[Any] = []
+        #: per-player guard state — see repro.net.guards.  ``_guard_mode``
+        #: records the yield style fixed at a program's first yield (True
+        #: = guarded / cumulative inboxes, False = plain round batches);
+        #: ``_guards`` holds the guard of each guarded player's pending
+        #: yield; ``_cum`` its cumulative inbox.
+        self._guards: Dict[int, Optional[Guard]] = {}
+        self._guard_mode: Dict[int, bool] = {}
+        self._cum: Dict[int, Inbox] = {}
 
     # -- compatibility properties -------------------------------------------
     @property
@@ -142,6 +183,11 @@ class ProtocolRuntime:
         return self.transport.enforce_codec
 
     # -- helpers -------------------------------------------------------------
+    def _reset_guard_state(self) -> None:
+        self._guards = {}
+        self._guard_mode = {}
+        self._cum = {}
+
     def _expand(self, src: int, sends: List[Send]) -> List[tuple]:
         """Validate and expand a program's sends into (dst, payload).
 
@@ -156,6 +202,8 @@ class ProtocolRuntime:
         """Step one program; returns its sends (or None when finished).
 
         ``inbox=None`` primes a not-yet-started generator with ``next``.
+        A :class:`~repro.net.guards.Guarded` yield is unwrapped here: the
+        guard is parked in ``_guards[pid]`` and the plain sends returned.
         When a recorder is attached and this is a real round (not a
         rushing registration step), the step is recorded as a "player"
         span carrying the player's op-count delta.
@@ -189,13 +237,30 @@ class ProtocolRuntime:
                     interpolations=ops.interpolations,
                 )
                 self._step_spans.append(span)
+        if isinstance(sends, Guarded):
+            if self._guard_mode.get(pid) is False:
+                raise ProtocolViolation(
+                    f"player {pid} yielded a guarded batch after a plain "
+                    "one; a program fixes its yield style at its first yield"
+                )
+            self._guard_mode[pid] = True
+            self._guards[pid] = sends.wait
+            sends = list(sends.sends)
+        elif sends is not None:
+            if self._guard_mode.get(pid):
+                # plain yield inside a guarded program: wake on anything
+                self._guards[pid] = None
+            else:
+                self._guard_mode.setdefault(pid, False)
         return sends
 
     def _collect(self, pid: int, program: Program, inbox, round_no: int,
                  outputs, done, deliveries: List[tuple],
-                 emissions: Optional[List[tuple]] = None) -> None:
+                 emissions: Optional[List[tuple]] = None) -> int:
         """Step one player and append its (dst, src, payload) deliveries.
 
+        Returns 1 when the program was actually advanced (not crashed),
+        0 otherwise — the runtime's no-progress detection counts these.
         When ``emissions`` is a list (a causality recorder subscribed to
         the ``"sent"`` topic), each delivery is also appended there as
         ``(dst, src, payload, channel)`` — pre-fault, pre-scheduler
@@ -204,12 +269,12 @@ class ProtocolRuntime:
         faults = self.faults
         if faults is not None and faults.is_crashed(pid, round_no):
             faults.note_player_fault(round_no, "crash", pid)
-            return
+            return 0
         sends = self._advance(pid, program, inbox, outputs, done, round_no)
         if sends:
             if faults is not None and faults.is_silenced(pid, round_no):
                 faults.note_player_fault(round_no, "silence", pid)
-                return
+                return 1
             expanded = self._expand(pid, sends)
             deliveries.extend(
                 (dst, pid, payload) for dst, payload in expanded
@@ -223,6 +288,42 @@ class ProtocolRuntime:
                     (dst, pid, payload, channel)
                     for (dst, payload), channel in zip(expanded, channels)
                 )
+        return 1
+
+    def _exhausted(self, waited, done, reason: str) -> RuntimeExhausted:
+        """Build the :class:`RuntimeExhausted` for an out-of-budget run,
+        naming each stuck player and the tags its guard still awaits."""
+        stuck: Dict[int, Tuple[str, ...]] = {}
+        for pid in sorted(waited):
+            if done.get(pid):
+                continue
+            guard = self._guards.get(pid)
+            stuck[pid] = tuple(guard.tags) if guard is not None else ()
+        detail = "; ".join(
+            f"player {pid} awaiting {'/'.join(tags)}" if tags
+            else f"player {pid}"
+            for pid, tags in stuck.items()
+        )
+        message = f"protocol did not terminate: {reason}"
+        if detail:
+            message += f" (stuck: {detail})"
+        return RuntimeExhausted(message, stuck=stuck)
+
+
+class ProtocolRuntime(RuntimeBase):
+    """Runs ``n`` player programs in synchronous rounds over the stack.
+
+    The lockstep sibling: every program steps once per round and round
+    ``r``'s deliveries become round ``r+1``'s inboxes.  Plain programs
+    keep the historical byte-for-byte semantics; guarded programs (see
+    :mod:`repro.net.guards`) receive cumulative inboxes and are stepped
+    in the first round whose traffic satisfies their guard — trivially
+    "at the round boundary", which is what lets one protocol body drive
+    both this runtime and the async one.  Guards are ignored for rushing
+    players (rushing is already the strongest synchronous scheduling).
+
+    See :class:`RuntimeBase` for the constructor parameters.
+    """
 
     # -- main loop -------------------------------------------------------------
     def run(
@@ -248,6 +349,7 @@ class ProtocolRuntime:
         # run-boundary marker: flight recorders sharing a context bus use
         # it to delimit protocol runs (round numbers restart per run)
         self.bus.publish(RUN, self.n)
+        self._reset_guard_state()
         outputs: Dict[int, Any] = {}
         done: Dict[int, bool] = {pid: False for pid in programs}
         inboxes: Dict[int, Inbox] = {pid: {} for pid in programs}
@@ -287,10 +389,23 @@ class ProtocolRuntime:
             # while a causality recorder subscribes to the "sent" topic
             capturing = self.bus.has_subscribers(SENT)
             emissions: Optional[List[tuple]] = [] if capturing else None
+            stepped = 0
 
             for pid in ordinary:
-                self._collect(
-                    pid, programs[pid], None if not started else inboxes[pid],
+                if started and self._guard_mode.get(pid):
+                    if done[pid]:
+                        continue
+                    guard = self._guards.get(pid)
+                    cum = self._cum.get(pid, {})
+                    if guard is not None and not guard.satisfied(cum):
+                        continue  # still asleep this round
+                    inbox: Optional[Inbox] = {
+                        src: list(msgs) for src, msgs in cum.items()
+                    }
+                else:
+                    inbox = None if not started else inboxes[pid]
+                stepped += self._collect(
+                    pid, programs[pid], inbox,
                     round_no, outputs, done, deliveries, emissions,
                 )
 
@@ -306,7 +421,7 @@ class ProtocolRuntime:
                         peek.setdefault(src, []).append(payload)
                 inbox = dict(inboxes[pid])
                 inbox["rush_peek"] = peek  # type: ignore[index]
-                self._collect(
+                stepped += self._collect(
                     pid, programs[pid], inbox, round_no, outputs, done,
                     deliveries, emissions,
                 )
@@ -351,14 +466,36 @@ class ProtocolRuntime:
                 )
                 if tag_counts:
                     inbox_phase = classify_tags(tag_counts)
+
+            if (
+                not deliveries
+                and stepped == 0
+                and not (
+                    self.faults is not None
+                    and self.faults.has_pending_delayed()
+                )
+            ):
+                # nobody ran, nothing is in flight, nothing is delayed:
+                # the remaining guards can never fire, so fail fast
+                # instead of spinning to max_rounds
+                raise self._exhausted(
+                    waited, done,
+                    f"no runnable player and no in-flight traffic at "
+                    f"round {round_no}",
+                )
+
             started = True
             inboxes = {pid: {} for pid in programs}
             for dst, src, payload in deliveries:
                 if dst in inboxes:
                     inboxes[dst].setdefault(src, []).append(payload)
+                    if self._guard_mode.get(dst):
+                        self._cum.setdefault(dst, {}).setdefault(
+                            src, []
+                        ).append(payload)
         else:
-            raise ProtocolViolation(
-                f"protocol did not terminate within {self.max_rounds} rounds"
+            raise self._exhausted(
+                waited, done, f"exceeded max_rounds={self.max_rounds}"
             )
         for pid, program in programs.items():
             if not done.get(pid):

@@ -59,6 +59,17 @@ class Scheduler:
         """
         return deliveries
 
+    def choose(self, time: int, count: int) -> int:
+        """Async delivery pick: index of the next message to deliver.
+
+        Called by :class:`~repro.net.async_runtime.AsyncRuntime` with
+        the current logical time and the number of eligible pending
+        messages; the returned index is which of them lands next.  The
+        default is FIFO (oldest eligible message first), making every
+        synchronous scheduler a valid — if boring — async schedule.
+        """
+        return 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rush = f", rushing={sorted(self.rushing)}" if self.rushing else ""
         return f"{type(self).__name__}({rush.lstrip(', ')})"
@@ -93,4 +104,42 @@ class PermutedDeliveryScheduler(Scheduler):
         random.Random((self.seed * 1_000_003 + round_no) & 0x7FFFFFFF).shuffle(
             arranged
         )
+        return arranged
+
+
+class RandomOrderScheduler(Scheduler):
+    """Seeded adversary-chooseable delivery order (the async adversary).
+
+    Under :class:`~repro.net.async_runtime.AsyncRuntime`, every
+    :meth:`choose` picks uniformly among the eligible in-flight
+    messages — i.e. the full space of eventual-delivery schedules,
+    reproducible from one seed (in the style of the SVSS simulation's
+    ``RandomOrderSimulator``).  Both ``choose`` and ``arrange`` derive
+    their generator *statelessly* from ``(seed, time)``, so a schedule
+    never depends on how many picks other runs consumed.
+
+    On the lockstep runtime the same scheduler degrades to a seeded
+    per-round shuffle (a different stream than
+    :class:`PermutedDeliveryScheduler`), which is what lets the
+    scheduler-equivalence property suite run one protocol under all
+    three schedulers unchanged.
+    """
+
+    def __init__(self, seed: int = 0, rushing: Iterable[int] = ()):
+        super().__init__(rushing)
+        self.seed = seed
+
+    def _rng(self, time: int) -> random.Random:
+        return random.Random(
+            (self.seed * 2_000_003 + time * 7_919) & 0x7FFFFFFF
+        )
+
+    def choose(self, time: int, count: int) -> int:
+        return self._rng(time).randrange(count) if count > 1 else 0
+
+    def arrange(
+        self, round_no: int, deliveries: List[RoutedDelivery]
+    ) -> List[RoutedDelivery]:
+        arranged = list(deliveries)
+        self._rng(round_no).shuffle(arranged)
         return arranged

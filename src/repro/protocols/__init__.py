@@ -16,6 +16,13 @@ Substrates:
 * :mod:`repro.protocols.gradecast` — Feldman-Micali Grade-Cast
 * :mod:`repro.protocols.ba` — deterministic Byzantine agreement (phase king)
 * :mod:`repro.protocols.clique` — consistency graph + Gavril clique finding
+
+Asynchronous model (guarded programs, see :mod:`repro.net.guards`):
+
+* :mod:`repro.protocols.broadcast` — Bracha-style reliable broadcast
+  (``reliable_broadcast_program``)
+* :mod:`repro.protocols.async_coin` — shared-coin exposure under
+  adversarial message-at-a-time delivery
 """
 
 from repro.protocols.context import ProtocolContext, as_context
@@ -30,7 +37,17 @@ from repro.protocols.batch_vss import run_batch_vss, batch_vss_program
 from repro.protocols.gradecast import parallel_gradecast
 from repro.protocols.ba import phase_king
 from repro.protocols.eig import eig_program, run_eig
-from repro.protocols.broadcast import broadcast_program, run_broadcast
+from repro.protocols.broadcast import (
+    broadcast_program,
+    reliable_broadcast_program,
+    run_broadcast,
+    run_reliable_broadcast,
+)
+from repro.protocols.async_coin import (
+    async_coin_bit,
+    async_coin_program,
+    run_async_coin,
+)
 from repro.protocols.clique import gavril_clique, mutual_graph
 from repro.protocols.bit_gen import run_bit_gen, BitGenOutput
 from repro.protocols.coin_gen import run_coin_gen, coin_gen_program, CoinGenOutput
@@ -57,6 +74,11 @@ __all__ = [
     "run_eig",
     "broadcast_program",
     "run_broadcast",
+    "reliable_broadcast_program",
+    "run_reliable_broadcast",
+    "async_coin_program",
+    "run_async_coin",
+    "async_coin_bit",
     "gavril_clique",
     "mutual_graph",
     "run_bit_gen",

@@ -138,6 +138,42 @@ class ProtocolContext:
             **options,
         )
 
+    def async_runtime(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        faults: Optional[FaultPlane] = None,
+        metrics: Optional[NetworkMetrics] = None,
+        **kwargs,
+    ):
+        """An event-driven runtime for one run, wired to this context.
+
+        The async sibling of :meth:`network`: same layer wiring (fault
+        plane, recorder, bus, codec enforcement), but deliveries land
+        one at a time in the order an
+        :class:`~repro.net.scheduler.RandomOrderScheduler` picks.  When
+        neither ``scheduler=`` nor the context's own scheduler is set,
+        the delivery order is seeded from the context seed — so a run
+        is reproducible from the same top-level seed that drives its
+        randomness.
+        """
+        from repro.net.async_runtime import AsyncRuntime
+        from repro.net.scheduler import RandomOrderScheduler
+
+        if scheduler is None:
+            scheduler = self.scheduler or RandomOrderScheduler(self.seed)
+        return AsyncRuntime(
+            self.n,
+            field=self.field,
+            metrics=metrics,
+            scheduler=scheduler,
+            faults=faults if faults is not None else self.faults,
+            tracer=self.tracer,
+            recorder=self.recorder,
+            bus=self.bus,
+            enforce_codec=self.enforce_codec,
+            **kwargs,
+        )
+
     def ensure_bus(self) -> EventBus:
         """The context's shared bus, creating (and attaching) one if unset."""
         if self.bus is None:
