@@ -387,6 +387,53 @@ def bench_async_coin(results, smoke):
         })
 
 
+def bench_async_liveness(results, smoke):
+    """Deterministic liveness-observatory rows (DESIGN.md §12).
+
+    Guard wait-state gauges over the same seeded schedules as
+    ``bench_async_coin``: waits armed, mean/max armed→fired latency in
+    logical ticks, peak in-flight pool depth, and the stall count under
+    the default watchdog threshold.  Everything is schedule-derived, so
+    the rows are byte-diffable across commits; the history gate carries
+    ``wait_headroom`` (threshold / max wait — shrinks when guards start
+    waiting longer) and ``stall_free`` (1.0 while fault-free runs never
+    stall), so a liveness regression in the guard or wake layer fails
+    CI even when outputs stay correct.
+    """
+    from repro.net import RandomOrderScheduler
+    from repro.obs import QuorumLatencyRecorder, StallWatchdog
+    from repro.obs.bus import EventBus
+    from repro.protocols.async_coin import run_async_coin
+
+    field = GF2k(32)
+    configs = [(7, 2, 4)] if smoke else [(7, 2, 8), (10, 3, 8)]
+    for n, t, coins in configs:
+        bus = EventBus()
+        latency = QuorumLatencyRecorder().attach(bus)
+        watchdog = StallWatchdog(n).attach(bus)
+        for index in range(coins):
+            outputs, secret, runtime = run_async_coin(
+                field, n, t, seed=index,
+                scheduler=RandomOrderScheduler(seed=100 + index),
+                bus=bus,
+            )
+            assert set(outputs.values()) == {secret}, \
+                "async coin not unanimous"
+        assert len(latency.waits()) == coins * n, "guards missing waits"
+        assert all(r.fired for r in latency.waits()), "unfired guard"
+        results.append({
+            "bench": "async_liveness",
+            "n": n, "t": t, "coins": coins,
+            "scheduler": "random-order",
+            "waits": len(latency.waits()),
+            "mean_guard_wait": round(latency.mean_wait(), 2),
+            "max_guard_wait": latency.max_wait(),
+            "max_pool_depth": latency.pool_peak,
+            "watchdog_threshold": watchdog.threshold,
+            "stalls": len(watchdog.stalls),
+        })
+
+
 def speedups(results):
     """Wall-clock ratios vs the python-backend off-mode baseline.
 
@@ -445,6 +492,18 @@ def speedups(results):
         key = (f"async_coin_n{row['n']}_t{row['t']}"
                f"_c{row['coins']}_delivery_efficiency")
         out[key] = row["delivery_efficiency"]
+    for row in results:
+        if row.get("bench") != "async_liveness":
+            continue
+        # schedule-derived liveness ratios, bigger is better: headroom
+        # shrinks when guards wait longer, stall_free drops to 0.0 the
+        # moment a fault-free run trips the default watchdog
+        label = f"async_liveness_n{row['n']}_t{row['t']}_c{row['coins']}"
+        if row["max_guard_wait"] > 0:
+            out[f"{label}_wait_headroom"] = round(
+                row["watchdog_threshold"] / row["max_guard_wait"], 2
+            )
+        out[f"{label}_stall_free"] = 1.0 if row["stalls"] == 0 else 0.0
     return out
 
 
@@ -610,6 +669,7 @@ def main(argv=None):
     bench_coin_expose(results, args.smoke)
     bench_critical_path(results, args.smoke)
     bench_async_coin(results, args.smoke)
+    bench_async_liveness(results, args.smoke)
 
     payload = {
         "generated_by": "benchmarks/emit_bench_json.py",

@@ -27,7 +27,13 @@ Commands
               with a straggler, ``--export`` writes the JSON analysis,
               ``--chrome`` writes a Perfetto trace with causal flow
               arrows, ``--assert-depth`` gates the exit code on the DAG
-              depth matching the ``analysis.rounds`` prediction.
+              depth matching the ``analysis.rounds`` prediction;
+``waits``     run async coin exposures under the liveness observatory:
+              per-guard quorum-latency table (armed/fired logical times,
+              pivotal sender), in-flight pool gauges, the stall
+              watchdog's crash-vs-withholding classification
+              (``--watchdog TICKS`` gates the exit code on zero stalls),
+              and ``--audit`` the liveness conformance audit.
 
 ``toss``, ``trace``, and ``critpath`` accept ``--runtime lockstep|async``:
 under ``async`` each coin is exposed on an event-driven
@@ -230,6 +236,13 @@ def _cmd_toss_async(args: argparse.Namespace) -> int:
 
     ctx = _make_context(args)
     flight = _attach_flight_recorder(args, ctx)
+    watchdog = None
+    if getattr(args, "watchdog", None) is not None:
+        from repro.obs import StallWatchdog
+
+        watchdog = StallWatchdog(
+            ctx.n, threshold=args.watchdog
+        ).attach(ctx.ensure_bus())
     root = ctx.recorder.begin("toss", "root")
     values, runtimes, breaks = _run_async_coins(args, ctx, args.count)
     ctx.recorder.end(root)
@@ -263,6 +276,13 @@ def _cmd_toss_async(args: argparse.Namespace) -> int:
               f"{makespan / max(len(values), 1):,.1f}")
     _write_export(args, ctx)
     _write_flight_log(args, flight)
+    if watchdog is not None and watchdog.stalls:
+        print(f"STALL: {len(watchdog.stalls)} guard(s) waited past "
+              f"{watchdog.threshold} logical ticks "
+              f"({len(watchdog.crash_induced())} crash-induced, "
+              f"{len(watchdog.unexplained())} unexplained)", file=sys.stderr)
+        print(watchdog.table(), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -630,7 +650,9 @@ def _cmd_critpath_async(args: argparse.Namespace) -> int:
     import json as json_module
 
     from repro.obs.causality import CausalRecorder
-    from repro.obs.critical_path import CostModel, critical_path, what_if
+    from repro.obs.critical_path import (
+        CostModel, critical_path, ops_from_recorder, what_if,
+    )
 
     ctx = _make_context(args)
     if not ctx.recorder.enabled:
@@ -642,28 +664,36 @@ def _cmd_critpath_async(args: argparse.Namespace) -> int:
         print(f"UNANIMITY BREAK: coin {index} exposed {distinct}",
               file=sys.stderr)
     graph = causal.graph()
+    # async round spans carry per-step op deltas exactly like lockstep
+    # ones (the step settling delivery c is node (c+1, pid)), so the
+    # same recorder->DAG pricing applies under adversarial schedules
+    step_ops, run_labels = ops_from_recorder(ctx.recorder)
     model = CostModel(
         base_latency=args.base_latency,
         per_element_latency=args.per_element_latency,
         **_parse_op_costs(args.op_cost),
     )
-    result = critical_path(graph, model)
+    result = critical_path(graph, model, step_ops)
 
     print(f"async critical path: n={ctx.n}, t={ctx.t}, k={args.k}, "
           f"coins={args.M}, sched-seed={args.sched_seed} "
           f"(base latency {args.base_latency:g}s/link)")
     for index, runtime in enumerate(runtimes):
-        print(f"  run {index + 1}: async_coin — "
+        label = run_labels.get(index + 1, "async_coin")
+        print(f"  run {index + 1}: {label} — "
               f"{runtime.delivery_count} deliveries, "
               f"logical time {runtime.logical_time}, "
               f"causal depth {graph.depth(index + 1)}")
+    print(f"  span coverage: {ctx.recorder.coverage():.1%} "
+          f"({len(step_ops)} op-priced steps)")
     print()
     print(result.table())
 
     counterfactual = None
     if args.what_if is not None:
         player, scale = _parse_what_if(args.what_if)
-        counterfactual = what_if(graph, model, player=player, scale=scale)
+        counterfactual = what_if(graph, model, player=player, scale=scale,
+                                 step_ops=step_ops)
         print()
         print(counterfactual.table())
 
@@ -798,6 +828,103 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_waits(args: argparse.Namespace) -> int:
+    """``repro waits``: the liveness observatory over async coin runs.
+
+    Attaches a :class:`~repro.obs.liveness.QuorumLatencyRecorder` and a
+    :class:`~repro.obs.liveness.StallWatchdog` to the context bus, runs
+    ``--coins`` async exposures, and prints the per-guard wait table,
+    the pool-depth gauges, and the stall classification.  ``--watchdog
+    TICKS`` gates the exit code on zero stalls; ``--audit`` gates on the
+    liveness conformance audit (fault-free runs must show zero stalls,
+    zero unfired guards, and quorum-exact firing).
+    """
+    from repro.obs import (
+        QuorumLatencyRecorder,
+        StallWatchdog,
+        audit_liveness,
+        default_threshold,
+        waits_to_chrome,
+        waits_to_jsonl,
+    )
+
+    if args.runtime != "async":
+        print("repro waits: guard wait-state telemetry is per-delivery — "
+              "use --runtime async (the default here)", file=sys.stderr)
+        return 2
+    ctx = _make_context(args)
+    bus = ctx.ensure_bus()
+    latency = QuorumLatencyRecorder().attach(bus)
+    threshold = (
+        args.watchdog if args.watchdog is not None
+        else default_threshold(ctx.n)
+    )
+    watchdog = StallWatchdog(ctx.n, threshold=threshold).attach(bus)
+    values, runtimes, breaks = _run_async_coins(args, ctx, args.coins)
+    for index, distinct in breaks:
+        print(f"UNANIMITY BREAK: coin {index} exposed {distinct}",
+              file=sys.stderr)
+
+    crashed = _crashed_players(args)
+    print(f"liveness observatory: n={ctx.n}, t={ctx.t}, k={args.k}, "
+          f"coins={args.coins}, sched-seed={args.sched_seed}, "
+          f"crashed={','.join(map(str, sorted(crashed))) or 'none'}, "
+          f"watchdog threshold={threshold} logical ticks")
+    print()
+    print(latency.table())
+    print()
+    fired = latency.fired_records()
+    print(f"{'waits armed / fired':42s} "
+          f"{len(latency.waits())} / {len(fired)}")
+    print(f"{'mean / max wait (logical ticks)':42s} "
+          f"{latency.mean_wait():.1f} / {latency.max_wait()}")
+    print(f"{'in-flight pool peak':42s} {latency.pool_peak}")
+    for channel in sorted(latency.backlog_peak):
+        print(f"{f'backlog peak [{channel}]':42s} "
+              f"{latency.backlog_peak[channel]}")
+    pivotal = latency.pivotal_counts()
+    if pivotal:
+        ranked = sorted(pivotal, key=lambda p: (-pivotal[p], p))
+        print(f"{'pivotal senders (quorums completed)':42s} "
+              + ", ".join(f"{p}:{pivotal[p]}" for p in ranked))
+    print()
+    print(watchdog.table())
+
+    report = None
+    if args.audit:
+        report = audit_liveness(latency, watchdog)
+        print()
+        print(report.table())
+
+    if args.export is not None:
+        if args.export == "chrome":
+            content = waits_to_chrome(latency, watchdog)
+        elif args.export == "jsonl":
+            content = waits_to_jsonl(latency, watchdog)
+        else:
+            content = to_prometheus(metrics=ctx.metrics, liveness=latency,
+                                    watchdog=watchdog)
+        out = args.export_out or (
+            f"{args.command}.{_EXPORT_EXTENSIONS[args.export]}"
+        )
+        with open(out, "w") as handle:
+            handle.write(content)
+        print(f"wrote {args.export} export to {out}", file=sys.stderr)
+
+    if breaks:
+        return 1
+    if args.watchdog is not None and watchdog.stalls:
+        print(f"STALL: {len(watchdog.stalls)} guard(s) waited past "
+              f"{watchdog.threshold} logical ticks "
+              f"({len(watchdog.crash_induced())} crash-induced, "
+              f"{len(watchdog.unexplained())} unexplained)", file=sys.stderr)
+        return 1
+    if args.audit and not report.ok:
+        print("LIVENESS DEVIATION: see audit table above", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.verifier import report, verify_all
 
@@ -823,6 +950,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit k-ary coins instead of bits")
     toss.add_argument("--stats", action="store_true",
                       help="print amortized cost summary")
+    toss.add_argument("--watchdog", type=int, default=None, metavar="TICKS",
+                      help="flag guards waiting past TICKS logical ticks "
+                           "and exit non-zero on any stall "
+                           "(--runtime async only)")
     _add_export_arguments(toss)
     _add_flight_argument(toss)
     toss.set_defaults(func=_cmd_toss)
@@ -922,6 +1053,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "matches the analysis.rounds prediction")
     _add_flight_argument(critpath)
     critpath.set_defaults(func=_cmd_critpath)
+
+    waits = sub.add_parser(
+        "waits",
+        help="liveness observatory: guard wait-state telemetry, "
+             "quorum-latency attribution, and the stall watchdog",
+    )
+    _add_system_arguments(waits, default_t=2)
+    waits.add_argument("--coins", type=int, default=4,
+                       help="async coin exposures to run")
+    waits.add_argument("--watchdog", type=int, default=None, metavar="TICKS",
+                       help="stall threshold in logical ticks (default "
+                            "4*n^2); giving it gates the exit code on "
+                            "zero stalls")
+    waits.add_argument("--audit", action="store_true",
+                       help="exit non-zero unless the liveness conformance "
+                            "audit passes (fault-free runs: zero stalls, "
+                            "every guard fired at exactly its quorum)")
+    _add_export_arguments(waits)
+    waits.set_defaults(func=_cmd_waits, runtime="async")
 
     forensics = sub.add_parser(
         "forensics",

@@ -33,6 +33,14 @@ time as the round index: each delivery publishes one ``SENT`` event
 and critical-path analysis work unchanged on async runs — one
 happens-before edge per delivered message, and live and offline
 (flight-log) causal graphs are canonically equal.
+
+Liveness telemetry (see :mod:`repro.obs.liveness`) is published on the
+``GUARD_ARMED`` / ``GUARD_PROGRESS`` / ``GUARD_FIRED`` / ``POOL``
+topics with logical-time stamps — armed/fired when guarded programs
+park and step, per-relevant-delivery quorum progress, and per-tick
+in-flight pool depth with a per-channel backlog.  Every one of these is
+gated on the topic having subscribers, so unmonitored runs stay
+byte-identical (asserted by flight-log equality in the tests).
 """
 
 from __future__ import annotations
@@ -44,13 +52,24 @@ from repro.net.faults import DELAY, DROP, DUPLICATE, FaultPlane
 from repro.net.metrics import NetworkMetrics
 from repro.net.runtime import Inbox, Program, RuntimeBase
 from repro.net.scheduler import RandomOrderScheduler, Scheduler
+from repro.net.trace import payload_tag
 from repro.net.transport import (
     ProtocolViolation,
     Transport,
     expansion_channels,
     make_transport,
 )
-from repro.obs.bus import ROUND, RUN, SENT, EventBus
+from repro.obs.bus import (
+    GUARD_ARMED,
+    GUARD_FIRED,
+    GUARD_PROGRESS,
+    POOL,
+    ROUND,
+    RUN,
+    SENT,
+    EventBus,
+)
+from repro.obs.phases import classify_tag
 
 
 def _inbox_size(inbox: Inbox) -> int:
@@ -140,6 +159,12 @@ class AsyncRuntime(RuntimeBase):
                 "rushing is a synchronous-round notion; the async "
                 "scheduler already controls every delivery"
             )
+        recorder = self.recorder
+        recording = recorder.enabled
+        if recording:
+            # the "t=0" span covers run() setup plus priming so that
+            # coverage() sees the whole call attributed to round spans
+            prime_span = recorder.begin("t=0", "round", round=0)
         waited = set(programs) if wait_for is None else set(wait_for) & set(programs)
         faults = self.faults
         if faults is not None:
@@ -164,9 +189,24 @@ class AsyncRuntime(RuntimeBase):
         # guards); bound total steps so a guard that re-fires without
         # making progress cannot spin forever
         step_budget = 4 * self.max_deliveries + 16 * self.n
-        capturing = self.bus.has_subscribers(SENT)
+        bus = self.bus
+        capturing = bus.has_subscribers(SENT)
+        # liveness telemetry is strictly opt-in, like the "sent" topic:
+        # the flags are sampled once per run and every publish (and the
+        # progress/backlog computation feeding it) is gated on them, so
+        # unmonitored runs stay byte-identical
+        lv_armed = bus.has_subscribers(GUARD_ARMED)
+        lv_progress = bus.has_subscribers(GUARD_PROGRESS)
+        lv_fired = bus.has_subscribers(GUARD_FIRED)
+        lv_pool = bus.has_subscribers(POOL)
         self.delivery_count = 0
         self.logical_time = 0
+
+        def pool_gauge(time: int) -> None:
+            backlog: Dict[str, int] = {}
+            for item in pending:
+                backlog[item[3]] = backlog.get(item[3], 0) + 1
+            bus.publish(POOL, time, len(pending), backlog)
 
         def crashed(pid: int, tick: int) -> bool:
             if faults is None or not faults.is_crashed(pid, max(tick, 1)):
@@ -200,6 +240,9 @@ class AsyncRuntime(RuntimeBase):
                         return
                 elif not guard.satisfied(inbox_now):
                     return
+                if lv_fired and guard is not None:
+                    bus.publish(GUARD_FIRED, tick, pid, guard,
+                                guard.matched_senders(inbox_now))
                 seen[pid] = _inbox_size(inbox_now)
                 steps += 1
                 if steps > step_budget:
@@ -209,24 +252,59 @@ class AsyncRuntime(RuntimeBase):
                         "keeps re-firing without the run finishing)",
                     )
                 inbox = {src: list(msgs) for src, msgs in inbox_now.items()}
+                # the step consuming the delivery settled at time `tick`
+                # is critical-path node (tick + 1, pid) — record its op
+                # delta there so async spans price like lockstep rounds
                 sends = self._advance(
-                    pid, program, inbox, outputs, done, round_no=max(tick, 1)
+                    pid, program, inbox, outputs, done, round_no=tick + 1
                 )
                 if sends:
                     emit(pid, sends, tick)
+                if lv_armed and not done[pid]:
+                    armed = self._guards.get(pid)
+                    if armed is not None:
+                        bus.publish(GUARD_ARMED, tick, pid, armed)
 
         # priming: step every (non-crashed) program once at logical time
-        # 0 to collect its initial sends and park its first guard
+        # 0 to collect its initial sends and park its first guard.  The
+        # ops land on critical-path node (1, pid) — the node first sends
+        # originate from — hence round_no=1.
+        if recording:
+            self._step_spans = []
         for pid in sorted(programs):
             if crashed(pid, 1):
                 continue
             sends = self._advance(pid, programs[pid], None, outputs, done,
-                                  round_no=0)
+                                  round_no=1)
             if sends:
                 emit(pid, sends, 0)
+            if lv_armed and not done[pid]:
+                armed = self._guards.get(pid)
+                if armed is not None:
+                    bus.publish(GUARD_ARMED, 0, pid, armed)
         for pid in sorted(programs):
             if not done[pid]:
                 wake(pid, 0)  # a quorum-0 guard may already be satisfied
+        if lv_pool:
+            pool_gauge(0)
+        if recording:
+            phase = (
+                classify_tag(payload_tag(pending[0][2]))
+                if pending else "other"
+            )
+            for step_span in self._step_spans:
+                step_span.set(phase=phase)
+            recorder.end(prime_span, phase=phase, messages=len(pending))
+            # one "round" span per logical tick.  The next tick's span is
+            # opened the instant the previous one ends (the final, unused
+            # one is discarded after the loop) so no wall time falls
+            # between round spans and coverage() attributes the whole
+            # run; the steps a delivery wakes are recorded inside it so
+            # ops_from_recorder prices async runs exactly like lockstep
+            round_span = recorder.begin(
+                f"t={clock + 1}", "round", round=clock + 1
+            )
+            self._step_spans = []
 
         while not all(done[pid] for pid in waited):
             if not pending:
@@ -245,6 +323,14 @@ class AsyncRuntime(RuntimeBase):
             ]
             if not eligible:
                 clock += 1  # idle tick: only delayed traffic remains
+                if lv_pool:
+                    pool_gauge(clock)
+                if recording:
+                    recorder.end(round_span, phase="other", messages=0)
+                    round_span = recorder.begin(
+                        f"t={clock + 1}", "round", round=clock + 1
+                    )
+                    self._step_spans = []
                 continue
             tick = clock + 1  # 1-based time of the delivery being decided
             if faults is not None:
@@ -272,11 +358,29 @@ class AsyncRuntime(RuntimeBase):
                             self.bus.publish(
                                 SENT, tick, [(dst, src, payload, channel)]
                             )
+                        if recording:
+                            recorder.end(
+                                round_span, messages=0,
+                                phase=classify_tag(payload_tag(payload)),
+                            )
+                            round_span = recorder.begin(
+                                f"t={clock + 1}", "round", round=clock + 1
+                            )
+                            self._step_spans = []
                         continue
                     if rule.kind == DELAY:
                         entry[4] = tick + rule.delay
                         entry[5] = True
                         pending.append(entry)
+                        if recording:
+                            recorder.end(
+                                round_span, messages=0,
+                                phase=classify_tag(payload_tag(payload)),
+                            )
+                            round_span = recorder.begin(
+                                f"t={clock + 1}", "round", round=clock + 1
+                            )
+                            self._step_spans = []
                         continue
                     if rule.kind == DUPLICATE:
                         pending.append(
@@ -286,13 +390,36 @@ class AsyncRuntime(RuntimeBase):
             self.metrics.rounds += 1
             self.delivery_count += 1
             if capturing:
-                self.bus.publish(SENT, clock, [(dst, src, payload, channel)])
-            self.bus.publish(ROUND, clock, [(dst, src, payload)])
+                bus.publish(SENT, clock, [(dst, src, payload, channel)])
+            bus.publish(ROUND, clock, [(dst, src, payload)])
             if dst in cum:
                 cum[dst].setdefault(src, []).append(payload)
+                if lv_progress and not done[dst]:
+                    guard = self._guards.get(dst)
+                    if guard is not None and payload_tag(payload) in guard.tags:
+                        count, quorum = guard.progress(cum[dst])
+                        bus.publish(
+                            GUARD_PROGRESS, clock, dst, src, count, quorum
+                        )
                 if not done[dst]:
                     wake(dst, clock)
+            if lv_pool:
+                pool_gauge(clock)
+            if recording:
+                phase = classify_tag(payload_tag(payload))
+                for step_span in self._step_spans:
+                    step_span.set(phase=phase)
+                recorder.end(
+                    round_span, phase=phase, messages=1, src=src, dst=dst,
+                    tags={payload_tag(payload): 1},
+                )
+                round_span = recorder.begin(
+                    f"t={clock + 1}", "round", round=clock + 1
+                )
+                self._step_spans = []
 
+        if recording:
+            recorder.discard(round_span)
         self.logical_time = clock
         for pid, program in programs.items():
             if not done.get(pid):

@@ -73,6 +73,25 @@ class Wait:
                     return True
         return False
 
+    def matched_senders(self, inbox: Inbox) -> Tuple[int, ...]:
+        """Sorted distinct int senders with at least one matching payload."""
+        senders = []
+        for src, payloads in inbox.items():
+            if not isinstance(src, int):
+                continue
+            if any(payload_tag(payload) in self.tags for payload in payloads):
+                senders.append(src)
+        return tuple(sorted(senders))
+
+    def progress(self, inbox: Inbox) -> Tuple[int, int]:
+        """``(count, quorum)``: distinct matching senders so far vs. needed."""
+        return len(self.matched_senders(inbox)), self.quorum
+
+    def missing_senders(self, inbox: Inbox, n: int) -> Tuple[int, ...]:
+        """Players ``1..n`` that have not yet sent a matching payload."""
+        matched = set(self.matched_senders(inbox))
+        return tuple(pid for pid in range(1, n + 1) if pid not in matched)
+
 
 @dataclass(frozen=True)
 class AnyWait:
@@ -96,6 +115,25 @@ class AnyWait:
 
     def satisfied(self, inbox: Inbox) -> bool:
         return any(wait.satisfied(inbox) for wait in self.waits)
+
+    def _closest(self, inbox: Inbox) -> Wait:
+        """The branch nearest to firing (fewest senders still needed)."""
+        return max(
+            self.waits,
+            key=lambda wait: wait.progress(inbox)[0] - wait.quorum,
+        )
+
+    def matched_senders(self, inbox: Inbox) -> Tuple[int, ...]:
+        """Matched senders of the branch nearest to firing."""
+        return self._closest(inbox).matched_senders(inbox)
+
+    def progress(self, inbox: Inbox) -> Tuple[int, int]:
+        """``(count, quorum)`` of the branch nearest to firing."""
+        return self._closest(inbox).progress(inbox)
+
+    def missing_senders(self, inbox: Inbox, n: int) -> Tuple[int, ...]:
+        """Missing senders of the branch nearest to firing."""
+        return self._closest(inbox).missing_senders(inbox, n)
 
 
 Guard = Union[Wait, AnyWait]

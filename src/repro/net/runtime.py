@@ -40,7 +40,16 @@ from repro.net.transport import (
     expansion_channels,
     make_transport,
 )
-from repro.obs.bus import FAULT, ROUND, RUN, SENT, EventBus
+from repro.obs.bus import (
+    FAULT,
+    GUARD_ARMED,
+    GUARD_FIRED,
+    GUARD_PROGRESS,
+    ROUND,
+    RUN,
+    SENT,
+    EventBus,
+)
 from repro.obs.phases import classify_tags
 from repro.obs.spans import NULL_RECORDER
 
@@ -367,6 +376,13 @@ class ProtocolRuntime(RuntimeBase):
 
         recorder = self.recorder
         recording = recorder.enabled
+        # liveness telemetry: strictly opt-in (like the "sent" topic) so
+        # unmonitored runs stay byte-identical; lockstep stamps events
+        # with the round number as logical time
+        bus = self.bus
+        lv_armed = bus.has_subscribers(GUARD_ARMED)
+        lv_progress = bus.has_subscribers(GUARD_PROGRESS)
+        lv_fired = bus.has_subscribers(GUARD_FIRED)
         # phase of the deliveries currently sitting in the inboxes — the
         # work a round does is attributed to the phase it is *consuming*
         inbox_phase: Optional[str] = None
@@ -399,15 +415,23 @@ class ProtocolRuntime(RuntimeBase):
                     cum = self._cum.get(pid, {})
                     if guard is not None and not guard.satisfied(cum):
                         continue  # still asleep this round
+                    if lv_fired and guard is not None:
+                        bus.publish(GUARD_FIRED, round_no, pid, guard,
+                                    guard.matched_senders(cum))
                     inbox: Optional[Inbox] = {
                         src: list(msgs) for src, msgs in cum.items()
                     }
                 else:
                     inbox = None if not started else inboxes[pid]
-                stepped += self._collect(
+                advanced = self._collect(
                     pid, programs[pid], inbox,
                     round_no, outputs, done, deliveries, emissions,
                 )
+                stepped += advanced
+                if lv_armed and advanced and not done[pid]:
+                    armed = self._guards.get(pid)
+                    if armed is not None and self._guard_mode.get(pid):
+                        bus.publish(GUARD_ARMED, round_no, pid, armed)
 
             # rushing players peek at this round's traffic addressed to them
             for pid in rushers:
@@ -493,6 +517,17 @@ class ProtocolRuntime(RuntimeBase):
                         self._cum.setdefault(dst, {}).setdefault(
                             src, []
                         ).append(payload)
+                        if lv_progress and not done.get(dst, True):
+                            guard = self._guards.get(dst)
+                            if (
+                                guard is not None
+                                and payload_tag(payload) in guard.tags
+                            ):
+                                count, quorum = guard.progress(
+                                    self._cum[dst]
+                                )
+                                bus.publish(GUARD_PROGRESS, round_no,
+                                            dst, src, count, quorum)
         else:
             raise self._exhausted(
                 waited, done, f"exceeded max_rounds={self.max_rounds}"

@@ -36,7 +36,12 @@ Corollary 1).  This package makes those costs observable on live runs:
 * :mod:`repro.obs.critical_path` — pluggable
   :class:`~repro.obs.critical_path.CostModel` pricing of a causal
   graph: per-coin exposure latency, slowest-chain phase attribution,
-  and straggler :func:`~repro.obs.critical_path.what_if` analysis.
+  and straggler :func:`~repro.obs.critical_path.what_if` analysis;
+* :mod:`repro.obs.liveness` — the liveness observatory over the
+  guard wait-state topics: per-wait quorum latency with pivotal-sender
+  attribution (:class:`~repro.obs.liveness.QuorumLatencyRecorder`) and
+  an online :class:`~repro.obs.liveness.StallWatchdog` classifying
+  stalls as crash-induced vs. unexplained withholding.
 """
 
 from repro.obs.bus import EventBus
@@ -47,14 +52,28 @@ from repro.obs.spans import (
     SpanRecorder,
 )
 from repro.obs.phases import classify_tag, classify_tags, register_tag_phase
-from repro.obs.export import to_chrome_trace, to_jsonl, to_prometheus
+from repro.obs.export import (
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    waits_to_chrome,
+    waits_to_jsonl,
+)
 from repro.obs.audit import (
     ConformanceReport,
     PhaseCheck,
     RoundsCheck,
     audit_coin_gen,
+    audit_liveness,
     audit_recorder,
     audit_rounds,
+)
+from repro.obs.liveness import (
+    QuorumLatencyRecorder,
+    Stall,
+    StallWatchdog,
+    WaitRecord,
+    default_threshold,
 )
 from repro.obs.causality import (
     CausalGraph,
@@ -92,12 +111,20 @@ __all__ = [
     "to_chrome_trace",
     "to_jsonl",
     "to_prometheus",
+    "waits_to_chrome",
+    "waits_to_jsonl",
     "ConformanceReport",
     "PhaseCheck",
     "RoundsCheck",
     "audit_coin_gen",
+    "audit_liveness",
     "audit_recorder",
     "audit_rounds",
+    "QuorumLatencyRecorder",
+    "StallWatchdog",
+    "WaitRecord",
+    "Stall",
+    "default_threshold",
     "CausalGraph",
     "CausalRecorder",
     "MessageEdge",

@@ -333,3 +333,47 @@ def audit_recorder(recorder: SpanRecorder) -> List[ConformanceReport]:
         if auditor is not None:
             reports.append(auditor(recorder, protocol))
     return reports
+
+
+def audit_liveness(latency, watchdog=None) -> ConformanceReport:
+    """Liveness conformance over a :class:`~repro.obs.liveness.QuorumLatencyRecorder`.
+
+    Fault-free random-order runs must be stall-free and *quorum-exact*:
+
+    * ``unfired_guards`` — every armed guard eventually fired (0
+      expected; a positive count means a run ended with parked guards);
+    * ``quorum_overshoot_fires`` — every fired guard had exactly its
+      quorum of distinct matching senders at fire time (0 expected).
+      This is an async-runtime invariant: guards are re-checked after
+      every single delivery, so the firing delivery is precisely the
+      quorum-completing one.  Lockstep recordings legitimately overshoot
+      (a round delivers many matching payloads at once) — audit async
+      recordings only.  Quorum-0 guards fire without senders and are
+      excluded;
+    * ``stalls`` — when a :class:`~repro.obs.liveness.StallWatchdog`
+      is passed, zero guards waited past its threshold.
+
+    Returns a :class:`ConformanceReport` (protocol ``"liveness"``) so
+    the CLI renders and gates it exactly like the lemma audits.
+    """
+    records = latency.waits()
+    fired = [r for r in records if r.fired]
+    overshoot = sum(
+        1 for r in fired
+        if r.quorum is not None and r.quorum > 0
+        and len(r.senders) != r.quorum
+    )
+    checks = [
+        PhaseCheck("liveness", "unfired_guards", 0,
+                   len(records) - len(fired)),
+        PhaseCheck("liveness", "quorum_overshoot_fires", 0, overshoot),
+    ]
+    params: Dict[str, Any] = {
+        "waits": len(records), "runs": latency.run_count,
+    }
+    if watchdog is not None:
+        checks.append(PhaseCheck("liveness", "stalls", 0,
+                                 len(watchdog.stalls)))
+        params["threshold"] = watchdog.threshold
+    return ConformanceReport(protocol="liveness", params=params,
+                             checks=checks)

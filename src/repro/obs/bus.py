@@ -23,6 +23,23 @@ bus when one is attached) and publishes:
   causality layer (:mod:`repro.obs.causality`) must cost nothing when
   detached.
 
+Liveness topics (published **only when subscribed**, like ``"sent"``,
+so unmonitored runs stay byte-identical — see :mod:`repro.obs.liveness`):
+
+* ``"guard_armed"``    — ``(time, pid, guard)`` when a guarded program
+  parks on a :class:`~repro.net.guards.Wait`/``AnyWait`` (``time`` is
+  the runtime's logical clock: delivery count for the async runtime,
+  round number for lockstep);
+* ``"guard_progress"`` — ``(time, pid, src, count, quorum)`` when a
+  delivery from ``src`` is relevant to ``pid``'s parked guard;
+  ``count``/``quorum`` are distinct matching senders so far vs. needed;
+* ``"guard_fired"``    — ``(time, pid, guard, senders)`` when a parked
+  guard's quorum is met and the program steps; ``senders`` is the
+  sorted tuple of distinct matching senders at fire time;
+* ``"pool"``           — ``(time, depth, backlog)`` per async tick:
+  in-flight pool depth after the tick settles plus a per-channel
+  backlog dict (lockstep has no in-flight pool and never publishes it).
+
 Long-lived components publish health topics into a shared context bus:
 
 * ``"coin"``    — ``(coin_id, element)`` per coin a
@@ -66,6 +83,20 @@ COIN = "coin"
 BATCH = "batch"
 FAILURE = "failure"
 RETRY = "retry"
+#: liveness topics (guard wait-state telemetry; see repro.obs.liveness)
+GUARD_ARMED = "guard_armed"
+GUARD_PROGRESS = "guard_progress"
+GUARD_FIRED = "guard_fired"
+POOL = "pool"
+
+#: every topic constant the runtime stack and coin pipeline publish.
+#: Publishers and subscribers must name topics via these constants
+#: (regression-tested in tests/test_bus_topics.py).
+ALL_TOPICS = (
+    RUN, ROUND, FAULT, SENT,
+    COIN, BATCH, FAILURE, RETRY,
+    GUARD_ARMED, GUARD_PROGRESS, GUARD_FIRED, POOL,
+)
 
 
 class EventBus:

@@ -10,7 +10,17 @@
   the critical path (default) or every message edge.
 * :func:`to_prometheus` — a text exposition of counters (rounds,
   messages, bits, per-player ops) and span-duration histograms, suitable
-  for scraping or for diffing in CI.
+  for scraping or for diffing in CI.  Every metric family carries
+  ``# HELP`` and ``# TYPE`` lines and label values are escaped per the
+  text-format rules (regression-tested by a strict parser in
+  ``tests/test_prometheus_format.py``).  Pass ``liveness=`` /
+  ``watchdog=`` (see :mod:`repro.obs.liveness`) to append guard-wait
+  latency histograms (in logical ticks), pivotal-sender counters, pool
+  gauges and stall counters.
+* :func:`waits_to_chrome` / :func:`waits_to_jsonl` — guard-wait spans
+  on a *logical-time* axis (one lane per player, 1 tick = 1 ms, stalls
+  as instant events, pool depth as a counter track) and the line-delimited
+  archival form of the same records.
 """
 
 from __future__ import annotations
@@ -182,22 +192,43 @@ def to_chrome_trace(recorder: SpanRecorder, graph=None,
                        "displayTimeUnit": "ms"}, indent=1)
 
 
+#: wall-clock span-duration buckets (seconds)
 _HISTOGRAM_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+#: logical-time buckets (ticks) for guard-wait latency histograms
+_LOGICAL_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+def _escape_label(value) -> str:
+    """Escape a label value per the Prometheus text-format rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _family(lines: List[str], name: str, kind: str, help_text: str) -> None:
+    """Open a metric family: its ``# HELP`` and ``# TYPE`` lines."""
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
 
 
 def _histogram(lines: List[str], metric: str, labels: str,
-               durations: List[float]) -> None:
-    cumulative = 0
-    for bound in _HISTOGRAM_BUCKETS:
-        cumulative = sum(1 for d in durations if d <= bound)
-        sep = "," if labels else ""
-        lines.append(
-            f'{metric}_bucket{{{labels}{sep}le="{bound:g}"}} {cumulative}'
-        )
-    sep = "," if labels else ""
-    lines.append(f'{metric}_bucket{{{labels}{sep}le="+Inf"}} {len(durations)}')
-    lines.append(f"{metric}_sum{{{labels}}} {sum(durations):.9f}")
-    lines.append(f"{metric}_count{{{labels}}} {len(durations)}")
+               values, buckets=_HISTOGRAM_BUCKETS) -> None:
+    values = list(values)
+
+    def series(suffix: str, extra: str, value) -> None:
+        body = ",".join(part for part in (labels, extra) if part)
+        braces = f"{{{body}}}" if body else ""
+        lines.append(f"{metric}{suffix}{braces} {value}")
+
+    for bound in buckets:
+        cumulative = sum(1 for d in values if d <= bound)
+        series("_bucket", f'le="{bound:g}"', cumulative)
+    series("_bucket", 'le="+Inf"', len(values))
+    series("_sum", "", f"{sum(values):.9f}")
+    series("_count", "", len(values))
 
 
 def to_prometheus(
@@ -205,18 +236,27 @@ def to_prometheus(
     recorder: Optional[SpanRecorder] = None,
     prefix: str = "repro",
     health=None,
+    liveness=None,
+    watchdog=None,
 ) -> str:
     """Prometheus text exposition of counters and span histograms.
 
     ``health`` optionally appends a
     :class:`~repro.obs.health.HealthMonitor`'s pipeline gauges and
-    counters to the same exposition.
+    counters; ``liveness`` (a
+    :class:`~repro.obs.liveness.QuorumLatencyRecorder`) appends
+    guard-wait counters, a logical-tick latency histogram,
+    pivotal-sender attribution and pool gauges; ``watchdog`` (a
+    :class:`~repro.obs.liveness.StallWatchdog`) appends classified
+    stall counters.
     """
     lines: List[str] = []
     if metrics is not None:
-        lines.append(f"# TYPE {prefix}_rounds_total counter")
+        _family(lines, f"{prefix}_rounds_total", "counter",
+                "Settled rounds (lockstep) or logical ticks (async).")
         lines.append(f"{prefix}_rounds_total {metrics.rounds}")
-        lines.append(f"# TYPE {prefix}_messages_total counter")
+        _family(lines, f"{prefix}_messages_total", "counter",
+                "Messages sent, by channel.")
         lines.append(
             f'{prefix}_messages_total{{channel="unicast"}} '
             f"{metrics.unicast_messages}"
@@ -225,9 +265,11 @@ def to_prometheus(
             f'{prefix}_messages_total{{channel="broadcast"}} '
             f"{metrics.broadcast_messages}"
         )
-        lines.append(f"# TYPE {prefix}_bits_total counter")
+        _family(lines, f"{prefix}_bits_total", "counter",
+                "Payload bits sent over the transport.")
         lines.append(f"{prefix}_bits_total {metrics.bits}")
-        lines.append(f"# TYPE {prefix}_player_ops_total counter")
+        _family(lines, f"{prefix}_player_ops_total", "counter",
+                "Field operations per player, by op kind.")
         for pid in sorted(metrics.player_ops):
             ops = metrics.player_ops[pid]
             for op in ("adds", "muls", "invs", "interpolations"):
@@ -236,14 +278,14 @@ def to_prometheus(
                     f"{getattr(ops, op)}"
                 )
     if recorder is not None:
-        lines.append(f"# TYPE {prefix}_span_duration_seconds histogram")
+        _family(lines, f"{prefix}_span_duration_seconds", "histogram",
+                "Recorded span durations, by span kind.")
         spans = recorder.all_spans()
         for kind in ("protocol", "phase", "round", "player"):
             durations = [s.duration for s in spans if s.kind == kind]
             if durations:
                 _histogram(lines, f"{prefix}_span_duration_seconds",
                            f'kind="{kind}"', durations)
-        lines.append(f"# TYPE {prefix}_phase_wall_seconds counter")
         phase_wall: Dict[str, float] = {}
         phase_msgs: Dict[str, int] = {}
         for span in spans:
@@ -253,26 +295,233 @@ def to_prometheus(
                 phase_msgs[phase] = (
                     phase_msgs.get(phase, 0) + span.attrs.get("messages", 0)
                 )
+        _family(lines, f"{prefix}_phase_wall_seconds", "counter",
+                "Wall time attributed to each protocol phase.")
         for phase in sorted(phase_wall):
             lines.append(
-                f'{prefix}_phase_wall_seconds{{phase="{phase}"}} '
+                f'{prefix}_phase_wall_seconds{{phase="{_escape_label(phase)}"}} '
                 f"{phase_wall[phase]:.9f}"
             )
-        lines.append(f"# TYPE {prefix}_phase_messages_total counter")
+        _family(lines, f"{prefix}_phase_messages_total", "counter",
+                "Messages attributed to each protocol phase.")
         for phase in sorted(phase_msgs):
             lines.append(
-                f'{prefix}_phase_messages_total{{phase="{phase}"}} '
+                f'{prefix}_phase_messages_total{{phase="{_escape_label(phase)}"}} '
                 f"{phase_msgs[phase]}"
             )
         if recorder.faults:
-            lines.append(f"# TYPE {prefix}_faults_total counter")
+            _family(lines, f"{prefix}_faults_total", "counter",
+                    "Fault-plane events observed, by kind.")
             by_kind: Dict[str, int] = {}
             for fault in recorder.faults:
                 by_kind[fault["kind"]] = by_kind.get(fault["kind"], 0) + 1
             for kind in sorted(by_kind):
                 lines.append(
-                    f'{prefix}_faults_total{{kind="{kind}"}} {by_kind[kind]}'
+                    f'{prefix}_faults_total{{kind="{_escape_label(kind)}"}} '
+                    f"{by_kind[kind]}"
                 )
+    if liveness is not None:
+        fired = liveness.fired_records()
+        pending = liveness.pending_records()
+        _family(lines, f"{prefix}_guard_waits_total", "counter",
+                "Armed guards observed, by outcome.")
+        lines.append(
+            f'{prefix}_guard_waits_total{{state="fired"}} {len(fired)}'
+        )
+        lines.append(
+            f'{prefix}_guard_waits_total{{state="pending"}} {len(pending)}'
+        )
+        _family(lines, f"{prefix}_guard_wait_ticks", "histogram",
+                "Armed-to-fired guard wait in logical ticks.")
+        _histogram(lines, f"{prefix}_guard_wait_ticks", "",
+                   liveness.latencies(), buckets=_LOGICAL_BUCKETS)
+        counts = liveness.pivotal_counts()
+        if counts:
+            _family(lines, f"{prefix}_guard_pivotal_total", "counter",
+                    "Waits completed per pivotal (quorum-completing) sender.")
+            for player in sorted(counts):
+                lines.append(
+                    f'{prefix}_guard_pivotal_total{{player="{player}"}} '
+                    f"{counts[player]}"
+                )
+        _family(lines, f"{prefix}_pool_depth_peak", "gauge",
+                "Deepest in-flight message pool observed (async runtime).")
+        lines.append(f"{prefix}_pool_depth_peak {liveness.pool_peak}")
+        if liveness.backlog_peak:
+            _family(lines, f"{prefix}_pool_backlog_peak", "gauge",
+                    "Peak in-flight backlog per transport channel.")
+            for channel in sorted(liveness.backlog_peak):
+                lines.append(
+                    f'{prefix}_pool_backlog_peak'
+                    f'{{channel="{_escape_label(channel)}"}} '
+                    f"{liveness.backlog_peak[channel]}"
+                )
+    if watchdog is not None:
+        _family(lines, f"{prefix}_guard_stalls_total", "counter",
+                "Guards that waited past the watchdog threshold, by class.")
+        for cls in ("crash", "unexplained"):
+            count = sum(
+                1 for s in watchdog.stalls if s.classification == cls
+            )
+            lines.append(
+                f'{prefix}_guard_stalls_total{{class="{cls}"}} {count}'
+            )
+        _family(lines, f"{prefix}_watchdog_threshold_ticks", "gauge",
+                "Logical-time threshold the stall watchdog applies.")
+        lines.append(
+            f"{prefix}_watchdog_threshold_ticks {watchdog.threshold}"
+        )
     if health is not None:
         lines.extend(health.prometheus_lines(prefix))
+    return "\n".join(lines) + "\n"
+
+
+#: chrome-trace microseconds per logical tick in guard-wait traces
+_TICK_US = 1000.0
+#: synthetic pid for the logical-time process (wall-clock traces use 1)
+_LIVENESS_PID = 2
+
+
+def _liveness_run_spans(liveness, watchdog=None) -> Dict[int, int]:
+    """``run -> last logical time observed`` across all liveness records."""
+    spans: Dict[int, int] = {}
+
+    def bump(run: int, time: Optional[int]) -> None:
+        if time is not None and time > spans.get(run, 0):
+            spans[run] = time
+
+    for record in liveness.records:
+        bump(record.run, record.armed_at)
+        bump(record.run, record.fired_at)
+        for time, _src in record.arrivals:
+            bump(record.run, time)
+    for run, time, _depth in liveness.pool_depths:
+        bump(run, time)
+    if watchdog is not None:
+        for stall in watchdog.stalls:
+            bump(stall.run, stall.detected_at)
+            bump(stall.run, stall.resolved_at)
+    return spans
+
+
+def waits_to_chrome(liveness, watchdog=None) -> str:
+    """Guard-wait spans on a logical-time axis (Trace Event Format).
+
+    One lane per player; each fired wait is a complete slice from its
+    armed tick to its fired tick (1 logical tick = 1 ms so Perfetto's
+    ruler reads directly in ticks), unfired waits extend to the end of
+    their run, stalls appear as instant events on the starving player's
+    lane, and the async pool depth is a counter track.  Runs are laid
+    out end-to-end with a small gap.
+    """
+    spans = _liveness_run_spans(liveness, watchdog)
+    offsets: Dict[int, float] = {}
+    acc = 0.0
+    for run in sorted(spans):
+        offsets[run] = acc
+        acc += spans[run] + 10.0
+
+    def ts(run: int, time: int) -> float:
+        return (offsets.get(run, 0.0) + time) * _TICK_US
+
+    events: List[Dict] = [
+        {"name": "process_name", "ph": "M", "pid": _LIVENESS_PID,
+         "args": {"name": "repro liveness (logical time)"}},
+    ]
+    players = sorted(
+        {r.pid for r in liveness.records}
+        | ({s.pid for s in watchdog.stalls} if watchdog is not None else set())
+    )
+    for pid in players:
+        events.append({"name": "thread_name", "ph": "M",
+                       "pid": _LIVENESS_PID, "tid": PLAYER_TID + pid,
+                       "args": {"name": f"player {pid}"}})
+    for record in liveness.records:
+        if record.fired:
+            dur = max(record.wait_time, 1)
+            state = "fired"
+        else:
+            dur = max(spans.get(record.run, record.armed_at)
+                      - record.armed_at, 1)
+            state = "unfired"
+        events.append({
+            "name": "wait " + "/".join(record.tags),
+            "cat": "wait",
+            "ph": "X",
+            "ts": ts(record.run, record.armed_at),
+            "dur": dur * _TICK_US,
+            "pid": _LIVENESS_PID,
+            "tid": PLAYER_TID + record.pid,
+            "args": {
+                "run": record.run,
+                "quorum": record.quorum,
+                "senders": len(record.senders),
+                "pivotal": record.pivotal,
+                "state": state,
+            },
+        })
+    if watchdog is not None:
+        for stall in watchdog.stalls:
+            events.append({
+                "name": f"stall:{stall.classification}",
+                "cat": "stall",
+                "ph": "i",
+                "ts": ts(stall.run, stall.detected_at),
+                "pid": _LIVENESS_PID,
+                "tid": PLAYER_TID + stall.pid,
+                "s": "t",
+                "args": stall.to_dict(),
+            })
+    for run, time, depth in liveness.pool_depths:
+        events.append({
+            "name": "pool_depth",
+            "ph": "C",
+            "ts": ts(run, time),
+            "pid": _LIVENESS_PID,
+            "args": {"depth": depth},
+        })
+    return json.dumps({"traceEvents": events,
+                       "displayTimeUnit": "ms"}, indent=1)
+
+
+def waits_to_jsonl(liveness, watchdog=None) -> str:
+    """Guard-wait records (and stalls, pool gauges) as line-delimited JSON.
+
+    One ``{"kind": "wait"}`` object per armed guard, one
+    ``{"kind": "stall"}`` per watchdog flag, one ``{"kind": "pool"}``
+    per published pool gauge, and a trailing ``{"kind": "summary"}``
+    with the aggregate latency/pivotal/pool statistics.
+    """
+    lines = [
+        json.dumps({"kind": "wait", **record.to_dict()})
+        for record in liveness.records
+    ]
+    if watchdog is not None:
+        lines.extend(
+            json.dumps({"kind": "stall", **stall.to_dict()})
+            for stall in watchdog.stalls
+        )
+    lines.extend(
+        json.dumps({"kind": "pool", "run": run, "time": time,
+                    "depth": depth})
+        for run, time, depth in liveness.pool_depths
+    )
+    summary = {
+        "kind": "summary",
+        "runs": liveness.run_count,
+        "waits": len(liveness.records),
+        "fired": len(liveness.fired_records()),
+        "mean_wait": liveness.mean_wait(),
+        "max_wait": liveness.max_wait(),
+        "pool_peak": liveness.pool_peak,
+        "backlog_peak": dict(liveness.backlog_peak),
+        "pivotal_counts": {
+            str(player): count
+            for player, count in sorted(liveness.pivotal_counts().items())
+        },
+    }
+    if watchdog is not None:
+        summary["stalls"] = len(watchdog.stalls)
+        summary["threshold"] = watchdog.threshold
+    lines.append(json.dumps(summary))
     return "\n".join(lines) + "\n"

@@ -188,19 +188,30 @@ class HealthMonitor:
     # -- exposition ---------------------------------------------------------
     def prometheus_lines(self, prefix: str = "repro") -> List[str]:
         """Text-exposition lines, appended by ``to_prometheus(health=...)``."""
-        lines = [
-            f"# TYPE {prefix}_coins_emitted_total counter",
-            f"{prefix}_coins_emitted_total {self.coins_emitted}",
-            f"# TYPE {prefix}_batches_total counter",
-            f"{prefix}_batches_total {self.batches}",
-            f"# TYPE {prefix}_election_iterations_total counter",
-            f"{prefix}_election_iterations_total {self.iterations_total}",
-            f"# TYPE {prefix}_seed_consumed_total counter",
-            f"{prefix}_seed_consumed_total {self.seed_consumed_total}",
-            f"# TYPE {prefix}_exposure_retries_total counter",
-            f"{prefix}_exposure_retries_total {self.retries}",
-            f"# TYPE {prefix}_exposure_failures_total counter",
-        ]
+        lines: List[str] = []
+
+        def family(name: str, kind: str, help_text: str) -> None:
+            lines.append(f"# HELP {prefix}_{name} {help_text}")
+            lines.append(f"# TYPE {prefix}_{name} {kind}")
+
+        family("coins_emitted_total", "counter",
+               "Coins the pipeline exposed.")
+        lines.append(f"{prefix}_coins_emitted_total {self.coins_emitted}")
+        family("batches_total", "counter", "D-PRBG stretch batches run.")
+        lines.append(f"{prefix}_batches_total {self.batches}")
+        family("election_iterations_total", "counter",
+               "Election iterations across all batches.")
+        lines.append(f"{prefix}_election_iterations_total "
+                     f"{self.iterations_total}")
+        family("seed_consumed_total", "counter",
+               "Seed coins consumed across all batches.")
+        lines.append(f"{prefix}_seed_consumed_total "
+                     f"{self.seed_consumed_total}")
+        family("exposure_retries_total", "counter",
+               "Coin exposures that needed a retry.")
+        lines.append(f"{prefix}_exposure_retries_total {self.retries}")
+        family("exposure_failures_total", "counter",
+               "Failed coin exposures by kind.")
         for kind in sorted(self.failures):
             lines.append(
                 f'{prefix}_exposure_failures_total{{kind="{kind}"}} '
@@ -208,26 +219,31 @@ class HealthMonitor:
             )
         if not self.failures:
             lines.append(f"{prefix}_exposure_failures_total 0")
-        lines.append(f"# TYPE {prefix}_rolling_bias gauge")
+        family("rolling_bias", "gauge",
+               "Bias of the rolling output-bit window.")
         lines.append(f"{prefix}_rolling_bias {self.rolling_bias():.6f}")
-        lines.append(f"# TYPE {prefix}_rolling_bits gauge")
+        family("rolling_bits", "gauge",
+               "Output bits in the rolling window.")
         lines.append(f"{prefix}_rolling_bits {len(self._bits)}")
         if self._bits:
-            lines.append(f"# TYPE {prefix}_rolling_test_statistic gauge")
+            family("rolling_test_statistic", "gauge",
+                   "Statistical-test statistics over the rolling window.")
             for name, result in sorted(self.rolling_battery().items()):
                 lines.append(
                     f'{prefix}_rolling_test_statistic{{test="{name}"}} '
                     f"{result.statistic:.6f}"
                 )
         if self.source is not None:
-            lines.extend([
-                f"# TYPE {prefix}_sealed_coins_available gauge",
-                f"{prefix}_sealed_coins_available "
-                f"{self.source.sealed_coins_available}",
-                f"# TYPE {prefix}_seed_coins_available gauge",
-                f"{prefix}_seed_coins_available "
-                f"{self.source.seed_coins_available}",
-                f"# TYPE {prefix}_seed_depletion gauge",
-                f"{prefix}_seed_depletion {self.seed_depletion():.6f}",
-            ])
+            family("sealed_coins_available", "gauge",
+                   "Sealed coins buffered in the source.")
+            lines.append(f"{prefix}_sealed_coins_available "
+                         f"{self.source.sealed_coins_available}")
+            family("seed_coins_available", "gauge",
+                   "Seed coins remaining in the source.")
+            lines.append(f"{prefix}_seed_coins_available "
+                         f"{self.source.seed_coins_available}")
+            family("seed_depletion", "gauge",
+                   "Fraction of the seed budget consumed.")
+            lines.append(f"{prefix}_seed_depletion "
+                         f"{self.seed_depletion():.6f}")
         return lines

@@ -101,6 +101,9 @@ class NullRecorder:
                **attrs: Any) -> None:
         pass
 
+    def discard(self, span) -> None:
+        pass
+
     def span(self, name: str, kind: str, **attrs: Any):
         """Context manager measuring a region (no-op here)."""
         return _NULL_SPAN
@@ -181,6 +184,16 @@ class SpanRecorder(NullRecorder):
         self._next_id += 1
         self.spans.append(span)
         return span
+
+    def discard(self, handle: _LiveSpan) -> None:
+        """Abandon an open span without recording it.
+
+        Lets a caller keep a span pre-opened across loop iterations (so
+        no wall time falls between spans) and throw away the final,
+        never-used one.  Only the innermost open span can be discarded.
+        """
+        if self._stack and self._stack[-1] is handle.span:
+            self._stack.pop()
 
     def span(self, name: str, kind: str, **attrs: Any) -> _LiveSpan:
         """``with recorder.span("coin_gen", "protocol", n=7): ...``"""

@@ -102,12 +102,21 @@ def run_async_coin(
     secret, shares = make_dealer_coin(
         ctx.field, ctx.n, ctx.t, coin_id, dealer_rng
     )
-    runtime = ctx.async_runtime(scheduler=scheduler, faults=faults)
     crashed = set(crashed)
+    if crashed:
+        # route crash-from-start players through the fault plane instead
+        # of silently omitting their programs: delivery order, metrics
+        # and outputs are unchanged (a player crashed at time 1 never
+        # runs and is never waited for), but the crash is now *visible*
+        # — a "crash" FAULT event lands in flight logs and lets the
+        # liveness watchdog classify the stalls it causes
+        faults = faults if faults is not None else FaultPlane()
+        for pid in crashed:
+            faults.crash(pid, 1)
+    runtime = ctx.async_runtime(scheduler=scheduler, faults=faults)
     programs = {
         pid: async_coin_program(ctx.field, ctx.n, pid, shares[pid])
         for pid in range(1, ctx.n + 1)
-        if pid not in crashed
     }
     with ctx.recorder.span("async_coin", "protocol", n=ctx.n, t=ctx.t):
         outputs = runtime.run(programs)

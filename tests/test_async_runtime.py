@@ -30,7 +30,7 @@ from repro.net import (
 )
 from repro.net.simulator import SynchronousNetwork
 from repro.net.transport import ProtocolViolation, multicast, unicast
-from repro.obs.bus import EventBus
+from repro.obs.bus import SENT, EventBus
 from repro.obs.causality import CausalRecorder, graph_from_log
 from repro.obs.flight import FlightRecorder, diff, replay
 from repro.protocols.async_coin import async_coin_program, run_async_coin
@@ -387,6 +387,6 @@ class TestAsyncObservability:
     def test_async_run_without_subscribers_is_silent(self):
         """No SENT publication cost when nobody listens."""
         runtime = AsyncRuntime(2, scheduler=RandomOrderScheduler(0))
-        assert not runtime.bus.has_subscribers("sent")
+        assert not runtime.bus.has_subscribers(SENT)
         outputs = runtime.run(echo_pair_programs())
         assert outputs == {1: [2], 2: [1]}
