@@ -41,12 +41,27 @@ Every run also *appends* one timestamped summary row (flavour, python,
 speedup ratios) to ``BENCH_history.json`` (override with ``--history``,
 disable with ``--no-history``), so the performance trajectory across
 commits accumulates in one artifact instead of each run overwriting the
-last; CI uploads the file after its smoke run.  ``--check-history``
+last; CI uploads the file after its smoke run.  Rows are ``schema: 2``:
+alongside the speedups they carry the run's provenance manifest
+(:mod:`repro.obs.manifest`) and the op-enriched per-phase Coin-Gen
+profile, so any two rows are diffable with ``repro diff``; legacy v1
+rows (no ``schema`` key) are read unchanged.  ``--check-history``
 additionally gates the run against that trajectory: each speedup ratio
 must stay within ``--max-regression`` of the *median* of the last
 ``--history-window`` same-flavour rows (checked before the current row
 is appended), so a slow drift the static baseline would absorb still
-fails CI.
+fails CI.  When that gate trips, the failure output ends with a priced
+*attribution report* (:mod:`repro.obs.diffing`) naming the phase and op
+class that moved versus the last profiled history row.  The guard also
+warns about speedup keys with fewer than ``--history-window``
+same-flavour samples once the history is deep enough — a renamed key
+cannot quietly restart its median from scratch unnoticed.
+
+``--only <prefix>[,<prefix>...]`` runs a subset of the bench families
+(e.g. ``--only async_coin,async_liveness``) so CI legs emit only the
+rows they gate; partial runs skip the history append (a partial row
+would occupy a median-window slot without most keys) and the static
+baseline guard skips keys belonging to families that did not run.
 
 A ``critical_path`` row (per Coin-Gen configuration) records the
 happens-before DAG's structural depth, unit-latency makespan, per-phase
@@ -73,6 +88,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.fields import GF2k, GFp  # noqa: E402
 from repro.fields.backends import numpy_available  # noqa: E402
 from repro.fields.ntt import find_ntt_prime  # noqa: E402
+from repro.obs.manifest import RunManifest  # noqa: E402
 from repro.poly.barycentric import interpolation_mode  # noqa: E402
 from repro.protocols.batch_vss import run_batch_vss  # noqa: E402
 from repro.protocols.coin_gen import expose_coin, run_coin_gen  # noqa: E402
@@ -196,21 +212,30 @@ def bench_ntt_gfp(results, smoke):
 
 def coin_gen_conformance(n, t, M, field):
     """One *instrumented* Coin-Gen (separate from the timed runs): the
-    per-phase wall/message breakdown plus the lemma-conformance audit."""
+    per-phase wall/message/field-op breakdown plus the lemma-conformance
+    audit.  The op counts (adds/muls/invs/interpolations, from the
+    per-player step spans) are what ``repro diff`` prices when two rows
+    disagree — they are seed-derived, so identical configurations yield
+    identical counts."""
     from repro.obs import SpanRecorder
     from repro.obs.audit import audit_coin_gen
+    from repro.obs.critical_path import OP_KEYS
+    from repro.obs.diffing import profile_from_recorder
     from repro.protocols.context import ProtocolContext
 
     recorder = SpanRecorder()
     ctx = ProtocolContext.create(field, n, t, seed=5, recorder=recorder)
     out, _ = run_coin_gen(ctx, M=M)
     assert all(o.success for o in out.values())
+    ops = profile_from_recorder(recorder).phases
     phases = [
         {
             "phase": span.attrs["phase"],
             "rounds": span.attrs["rounds"],
             "messages": span.attrs["messages"],
             "bits": span.attrs["bits"],
+            **{key: ops.get(span.attrs["phase"], {}).get(key, 0)
+               for key in OP_KEYS},
             "wall_s": span.duration,
         }
         for span in recorder.phase_spans()
@@ -434,6 +459,29 @@ def bench_async_liveness(results, smoke):
         })
 
 
+#: bench families, keyed by the prefix their speedup keys start with —
+#: the ``--only`` tokens and the baseline-guard skip both resolve here
+BENCHES = {
+    "field": bench_field_arithmetic,
+    "batch_vss": bench_batch_vss,
+    "batch_vss_gfp": bench_ntt_gfp,
+    "coin_gen": bench_coin_gen,
+    "coin_expose": bench_coin_expose,
+    "critical_path": bench_critical_path,
+    "async_coin": bench_async_coin,
+    "async_liveness": bench_async_liveness,
+}
+
+
+def key_bench(key):
+    """Which bench family a speedup key belongs to (longest prefix wins,
+    so ``batch_vss_gfp_...`` resolves before ``batch_vss``)."""
+    for name in sorted(BENCHES, key=len, reverse=True):
+        if key.startswith(name):
+            return name
+    return None
+
+
 def speedups(results):
     """Wall-clock ratios vs the python-backend off-mode baseline.
 
@@ -510,10 +558,13 @@ def speedups(results):
 def append_history(payload, history_path):
     """Append one summary row to the running BENCH_history.json trajectory.
 
-    The history file is a JSON object ``{"rows": [...]}``; each row is
-    small (timestamp + speedup ratios, no raw results) so years of runs
-    stay diffable.  A corrupt or legacy file is reset rather than
-    crashing the bench.
+    The history file is a JSON object ``{"rows": [...]}``.  Rows are
+    ``schema: 2``: timestamp + speedup ratios plus the run's provenance
+    manifest and its op-enriched per-phase Coin-Gen profile, so any two
+    rows feed ``repro diff`` directly.  Legacy v1 rows (no ``schema``
+    key, no manifest/profile) coexist in the same file and are read
+    unchanged by every consumer.  A corrupt or legacy *file* is reset
+    rather than crashing the bench.
     """
     path = pathlib.Path(history_path)
     try:
@@ -523,20 +574,24 @@ def append_history(payload, history_path):
     except (OSError, ValueError, KeyError, AssertionError):
         history, rows = {"rows": []}, []
         history["rows"] = rows
-    rows.append(
-        {
-            "timestamp": datetime.datetime.now(datetime.timezone.utc)
-            .isoformat(timespec="seconds"),
-            "smoke": payload["smoke"],
-            "python": payload["python"],
-            "speedups": payload["speedups"],
-        }
-    )
+    row = {
+        "schema": 2,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "smoke": payload["smoke"],
+        "python": payload["python"],
+        "speedups": payload["speedups"],
+    }
+    if payload.get("manifest"):
+        row["manifest"] = payload["manifest"]
+    if payload.get("profile"):
+        row["profile"] = payload["profile"]
+    rows.append(row)
     path.write_text(json.dumps(history, indent=2) + "\n")
     return len(rows)
 
 
-def check_regressions(payload, baseline_path, max_regression):
+def check_regressions(payload, baseline_path, max_regression, only=None):
     """Compare speedup ratios against a committed baseline.
 
     Returns a list of human-readable failure strings (empty = pass).
@@ -544,7 +599,9 @@ def check_regressions(payload, baseline_path, max_regression):
     the current run (the configurations are deterministic per flavour),
     and each current ratio must be >= baseline * (1 - max_regression).
     Numpy-backend keys are skipped when the current run has no numpy —
-    the pure-python CI leg checks only the python rows.
+    the pure-python CI leg checks only the python rows.  With ``only``
+    (a ``--only`` bench-family list), baseline keys belonging to
+    families that did not run are skipped instead of reported missing.
     """
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     failures = []
@@ -561,6 +618,9 @@ def check_regressions(payload, baseline_path, max_regression):
             # the baseline is recorded with numpy installed; a pure-python
             # leg legitimately has no numpy rows to compare
             print(f"  {key}: skipped (numpy backend unavailable)")
+            continue
+        if only is not None and key_bench(key) not in only:
+            print(f"  {key}: skipped (--only)")
             continue
         if key not in current:
             failures.append(f"{key}: present in baseline but missing from "
@@ -611,6 +671,21 @@ def check_history(payload, history_path, window, max_regression):
         return []
     failures = []
     current = payload["speedups"]
+    if len(flavour) >= window:
+        # a key with a thin sample set in a *deep* history means it was
+        # renamed or newly added — its median gate restarted from
+        # scratch, so say so rather than letting a rename quietly
+        # disable the guard for that configuration
+        thin = sorted(
+            key for key in current
+            if sum(1 for r in recent
+                   if key in r.get("speedups", {})) < window
+        )
+        if thin:
+            print(f"history guard WARNING: fewer than {window} "
+                  "same-flavour samples for: " + ", ".join(thin)
+                  + " (renamed or newly added key? the median gate is "
+                  "weak until the window refills)")
     for key in sorted(current):
         samples = [r["speedups"][key] for r in recent
                    if key in r.get("speedups", {})]
@@ -628,6 +703,53 @@ def check_history(payload, history_path, window, max_regression):
                 f"{max_regression:.0%})"
             )
     return failures
+
+
+def history_attribution(payload, history_path):
+    """Attribute a history-gate failure to per-phase op deltas.
+
+    Diffs the current run's op-enriched Coin-Gen profile against the
+    most recent same-flavour history row that carries one, and returns
+    the priced attribution report ("clique-phase muls +6615, 38% of the
+    delta") — or ``None`` when no profiled (schema >= 2) reference row
+    exists yet, e.g. over a purely legacy v1 history.
+    """
+    from repro.obs.diffing import diff_profiles, profile_from_bench_phases
+
+    current = payload.get("profile") or {}
+    if not current:
+        return None
+    try:
+        rows = json.loads(pathlib.Path(history_path).read_text())["rows"]
+        assert isinstance(rows, list)
+    except (OSError, ValueError, KeyError, AssertionError):
+        return None
+    reference = None
+    for row in reversed(rows):
+        if bool(row.get("smoke")) != bool(payload["smoke"]):
+            continue
+        if row.get("profile"):
+            reference = row
+            break
+    if reference is None:
+        return None
+    ref_manifest = (RunManifest.from_dict(reference["manifest"])
+                    if reference.get("manifest") else None)
+    cur_manifest = (RunManifest.from_dict(payload["manifest"])
+                    if payload.get("manifest") else None)
+    sections = []
+    for label in sorted(set(current) & set(reference["profile"])):
+        diff = diff_profiles(
+            profile_from_bench_phases(reference["profile"][label],
+                                      manifest=ref_manifest,
+                                      source="history"),
+            profile_from_bench_phases(current[label],
+                                      manifest=cur_manifest,
+                                      source="current"),
+        )
+        sections.append(f"== {label} ==\n"
+                        + diff.report(label_a="history", label_b="current"))
+    return "\n\n".join(sections) or None
 
 
 def main(argv=None):
@@ -653,7 +775,20 @@ def main(argv=None):
     parser.add_argument("--history-window", type=int, default=5,
                         help="history rows the rolling median looks back "
                              "over (default 5)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated bench families to run "
+                             f"(choose from: {', '.join(BENCHES)}); "
+                             "partial runs skip the history append")
     args = parser.parse_args(argv)
+
+    only = None
+    if args.only:
+        only = [token.strip() for token in args.only.split(",")
+                if token.strip()]
+        unknown = [token for token in only if token not in BENCHES]
+        if unknown:
+            parser.error(f"--only: unknown bench {', '.join(unknown)} "
+                         f"(choose from: {', '.join(BENCHES)})")
 
     out_path = pathlib.Path(
         args.out
@@ -662,14 +797,9 @@ def main(argv=None):
     )
 
     results = []
-    bench_field_arithmetic(results, args.smoke)
-    bench_batch_vss(results, args.smoke)
-    bench_ntt_gfp(results, args.smoke)
-    bench_coin_gen(results, args.smoke)
-    bench_coin_expose(results, args.smoke)
-    bench_critical_path(results, args.smoke)
-    bench_async_coin(results, args.smoke)
-    bench_async_liveness(results, args.smoke)
+    for name, bench in BENCHES.items():
+        if only is None or name in only:
+            bench(results, args.smoke)
 
     payload = {
         "generated_by": "benchmarks/emit_bench_json.py",
@@ -685,7 +815,21 @@ def main(argv=None):
         },
         "results": results,
         "speedups": speedups(results),
+        # provenance: one manifest for the whole matrix — interpolation
+        # is omitted (every mode is swept) and backend lists all benched
+        "manifest": RunManifest.capture(
+            protocol="bench",
+            backend=",".join(backends()),
+            interpolation=None,
+        ).to_dict(),
     }
+    profile = {
+        f"coin_gen_n{row['n']}_t{row['t']}_M{row['M']}": row["phases"]
+        for row in results
+        if row.get("bench") == "coin_gen" and "phases" in row
+    }
+    if profile:
+        payload["profile"] = profile
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
 
     history_path = pathlib.Path(
@@ -702,8 +846,13 @@ def main(argv=None):
             payload, history_path, args.history_window, args.max_regression
         )
     if not args.no_history:
-        row_count = append_history(payload, history_path)
-        print(f"appended history row {row_count} to {history_path}")
+        if only is not None:
+            # a partial row would occupy a median-window slot while
+            # missing most keys, thinning every other key's sample set
+            print("history append skipped (--only partial run)")
+        else:
+            row_count = append_history(payload, history_path)
+            print(f"appended history row {row_count} to {history_path}")
 
     print(f"wrote {out_path}")
     for key, factor in payload["speedups"].items():
@@ -730,7 +879,7 @@ def main(argv=None):
         print(f"regression guard vs {args.baseline} "
               f"(tolerance {args.max_regression:.0%}):")
         failures = check_regressions(payload, args.baseline,
-                                     args.max_regression)
+                                     args.max_regression, only=only)
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -740,6 +889,15 @@ def main(argv=None):
     if history_failures:
         for failure in history_failures:
             print(f"HISTORY REGRESSION: {failure}", file=sys.stderr)
+        attribution = history_attribution(payload, history_path)
+        if attribution:
+            print("regression attribution (current vs last profiled "
+                  "history row):", file=sys.stderr)
+            print(attribution, file=sys.stderr)
+        else:
+            print("regression attribution unavailable: no profiled "
+                  "(schema >= 2) same-flavour history row yet",
+                  file=sys.stderr)
         return 1
     if args.check_history:
         print("history guard: all speedups within tolerance")

@@ -122,6 +122,39 @@ def _add_flight_argument(parser: argparse.ArgumentParser) -> None:
 _EXPORT_EXTENSIONS = {"chrome": "json", "jsonl": "jsonl", "prom": "prom"}
 
 
+def _run_manifest(args: argparse.Namespace, ctx: ProtocolContext,
+                  protocol: Optional[str] = None):
+    """The :class:`~repro.obs.manifest.RunManifest` these flags describe."""
+    from repro.obs.manifest import RunManifest
+
+    return RunManifest.capture(
+        field=ctx.field,
+        protocol=protocol or getattr(args, "command", None),
+        n=ctx.n, t=ctx.t,
+        M=getattr(args, "M", None),
+        seed=getattr(args, "seed", None),
+        sched_seed=getattr(args, "sched_seed", None),
+        scheduler=getattr(args, "scheduler", None),
+        runtime=getattr(args, "runtime", None),
+    )
+
+
+def _attach_profiler(args: argparse.Namespace, ctx: ProtocolContext):
+    """A round-sampled profiler when ``--profile`` was given.
+
+    Ensures a live :class:`SpanRecorder` (the profiler samples its open
+    stack) and subscribes to the unconditionally-published ``round``
+    topic, so profiled runs stay byte-identical to unprofiled ones.
+    """
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs.profile import SamplingProfiler
+
+    if not ctx.recorder.enabled:
+        ctx.recorder = SpanRecorder()
+    return SamplingProfiler(ctx.recorder).attach_rounds(ctx.ensure_bus())
+
+
 def _make_context(args: argparse.Namespace) -> ProtocolContext:
     """The ProtocolContext the chosen CLI flags describe.
 
@@ -155,10 +188,11 @@ def _write_export(args: argparse.Namespace, ctx: ProtocolContext,
     if getattr(args, "export", None) is None:
         return
     recorder = ctx.recorder
+    manifest = _run_manifest(args, ctx)
     if args.export == "chrome":
-        content = to_chrome_trace(recorder, graph=graph)
+        content = to_chrome_trace(recorder, graph=graph, manifest=manifest)
     elif args.export == "jsonl":
-        content = to_jsonl(recorder)
+        content = to_jsonl(recorder, manifest=manifest)
     else:
         content = to_prometheus(metrics=ctx.metrics, recorder=recorder,
                                 health=health)
@@ -177,7 +211,8 @@ def _attach_flight_recorder(args: argparse.Namespace, ctx: ProtocolContext):
     from repro.obs.flight import FlightRecorder
 
     recorder = FlightRecorder(n=ctx.n, t=ctx.t, field=ctx.field,
-                              seed=ctx.seed)
+                              seed=ctx.seed,
+                              manifest=_run_manifest(args, ctx).to_dict())
     return recorder.attach(ctx.ensure_bus())
 
 
@@ -236,6 +271,7 @@ def _cmd_toss_async(args: argparse.Namespace) -> int:
 
     ctx = _make_context(args)
     flight = _attach_flight_recorder(args, ctx)
+    profiler = _attach_profiler(args, ctx)
     watchdog = None
     if getattr(args, "watchdog", None) is not None:
         from repro.obs import StallWatchdog
@@ -274,6 +310,9 @@ def _cmd_toss_async(args: argparse.Namespace) -> int:
         print(f"{'logical-time makespan (sum)':42s} {makespan:,}")
         print(f"{'mean logical time per coin':42s} "
               f"{makespan / max(len(values), 1):,.1f}")
+    if profiler is not None:
+        print()
+        print(profiler.table())
     _write_export(args, ctx)
     _write_flight_log(args, flight)
     if watchdog is not None and watchdog.stalls:
@@ -291,6 +330,7 @@ def _cmd_toss(args: argparse.Namespace) -> int:
         return _cmd_toss_async(args)
     ctx = _make_context(args)
     flight = _attach_flight_recorder(args, ctx)
+    profiler = _attach_profiler(args, ctx)
     root = ctx.recorder.begin("toss", "root")
     source = BootstrapCoinSource(context=ctx, batch_size=args.batch)
     if args.elements:
@@ -313,6 +353,9 @@ def _cmd_toss(args: argparse.Namespace) -> int:
         for key, value in source.amortized_cost_summary().items():
             print(f"{key:42s} {value:,.2f}" if isinstance(value, float)
                   else f"{key:42s} {value}")
+    if profiler is not None:
+        print()
+        print(profiler.table())
     _write_export(args, ctx)
     _write_flight_log(args, flight)
     return 0
@@ -925,6 +968,192 @@ def _cmd_waits(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_history_path() -> str:
+    import pathlib
+
+    return str(pathlib.Path.cwd() / "BENCH_history.json")
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """``repro runs``: the history ledger with provenance manifests."""
+    import json as json_module
+
+    from repro.obs.manifest import RunManifest
+
+    path = args.history or _default_history_path()
+    try:
+        with open(path) as handle:
+            rows = json_module.load(handle)["rows"]
+    except (OSError, ValueError, KeyError):
+        print(f"no readable history at {path}", file=sys.stderr)
+        return 1
+    if args.flavour != "all":
+        want_smoke = args.flavour == "smoke"
+        rows = [r for r in rows if bool(r.get("smoke")) == want_smoke]
+    if args.limit:
+        rows = rows[-args.limit:]
+    print(f"{len(rows)} run(s) in {path}")
+    for row in rows:
+        schema = row.get("schema", 1)
+        flavour = "smoke" if row.get("smoke") else "full"
+        keys = len(row.get("speedups", {}))
+        line = (f"  {row.get('timestamp', '?'):<26} v{schema} {flavour:<5} "
+                f"{keys:>3} keys")
+        if row.get("manifest"):
+            manifest = RunManifest.from_dict(row["manifest"])
+            line += f"  {manifest.summary()}"
+        else:
+            line += "  (no manifest: legacy v1 row)"
+        print(line)
+    return 0
+
+
+def _load_diff_profiles(path: str):
+    """``{label: RunProfile}`` out of any artifact ``repro diff`` accepts.
+
+    Auto-detects the format: a span JSONL export (one profile, labelled
+    ``run``), a bench payload (``BENCH_core.json`` / smoke baseline —
+    one profile per profiled Coin-Gen configuration), or a history file
+    (the most recent row carrying a schema-2 profile).
+    """
+    import json as json_module
+
+    from repro.obs.diffing import (
+        profile_from_bench_phases, profile_from_jsonl,
+    )
+    from repro.obs.manifest import RunManifest
+
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        doc = json_module.loads(text)
+    except ValueError:
+        return {"run": profile_from_jsonl(text, source=path)}
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{path}: not a recognized recording")
+    if "flight" in doc:
+        raise SystemExit(f"{path}: flight logs diff with "
+                         "'repro replay LOG --diff OTHER'")
+    manifest = (RunManifest.from_dict(doc["manifest"])
+                if doc.get("manifest") else None)
+    if "rows" in doc:  # history ledger: latest profiled row wins
+        profiled = [r for r in doc["rows"] if r.get("profile")]
+        if not profiled:
+            raise SystemExit(f"{path}: no schema-2 history row carries a "
+                             "profile (all legacy v1 rows)")
+        row = profiled[-1]
+        row_manifest = (RunManifest.from_dict(row["manifest"])
+                        if row.get("manifest") else None)
+        return {
+            label: profile_from_bench_phases(
+                phases, manifest=row_manifest,
+                source=f"{path} @ {row.get('timestamp', '?')}",
+            )
+            for label, phases in row["profile"].items()
+        }
+    if "results" in doc:  # bench payload (BENCH_core / smoke baseline)
+        out = {}
+        for row in doc["results"]:
+            if row.get("bench") == "coin_gen" and "phases" in row:
+                label = (f"coin_gen_n{row['n']}_t{row['t']}"
+                         f"_M{row['M']}")
+                out.setdefault(label, profile_from_bench_phases(
+                    row["phases"], manifest=manifest, source=path,
+                ))
+        if not out:
+            raise SystemExit(f"{path}: bench payload has no profiled "
+                             "coin_gen rows")
+        return out
+    raise SystemExit(f"{path}: not a recognized recording (expected a "
+                     "span JSONL export, bench payload, or history file)")
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """``repro diff A B``: per-phase × per-op deltas + priced attribution."""
+    from repro.obs.critical_path import CostModel
+    from repro.obs.diffing import DEFAULT_PRICING, diff_profiles
+
+    profiles_a = _load_diff_profiles(args.a)
+    profiles_b = _load_diff_profiles(args.b)
+    common = sorted(set(profiles_a) & set(profiles_b))
+    if not common:
+        print(f"no common configurations: {sorted(profiles_a)} vs "
+              f"{sorted(profiles_b)}", file=sys.stderr)
+        return 2
+    costs = _parse_op_costs(args.op_cost)
+    model = CostModel(**costs) if costs else DEFAULT_PRICING
+    sections = []
+    all_empty = True
+    for label in common:
+        diff = diff_profiles(profiles_a[label], profiles_b[label])
+        all_empty = all_empty and diff.is_empty()
+        sections.append(
+            f"== {label} ==\n"
+            + diff.report(model=model, label_a=args.a, label_b=args.b)
+        )
+    report = "\n\n".join(sections) + "\n"
+    print(report, end="")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote attribution report to {args.out}", file=sys.stderr)
+    if args.expect_empty and not all_empty:
+        print("DIFF NOT EMPTY: deterministic deltas found (see above)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: sample one instrumented Coin-Gen session."""
+    from repro.obs.profile import SamplingProfiler
+
+    ctx = _make_context(args)
+    if not ctx.recorder.enabled:
+        ctx.recorder = SpanRecorder()
+    profiler = SamplingProfiler(ctx.recorder, interval=args.interval)
+    if args.sampler == "rounds":
+        profiler.attach_rounds(ctx.ensure_bus())
+    if args.runtime == "async":
+        with profiler if args.sampler == "timer" else _null_context():
+            values, runtimes, breaks = _run_async_coins(args, ctx, args.M)
+        for index, distinct in breaks:
+            print(f"UNANIMITY BREAK: coin {index} exposed {distinct}",
+                  file=sys.stderr)
+    else:
+        from repro.protocols.coin_gen import expose_coin, run_coin_gen
+
+        with profiler if args.sampler == "timer" else _null_context():
+            outputs, _ = run_coin_gen(ctx, M=args.M, seed=args.seed)
+            if all(o.success for o in outputs.values()):
+                expose_coin(ctx, outputs=outputs, h=0)
+    print(f"profile: n={ctx.n}, t={ctx.t}, k={args.k}, M={args.M}, "
+          f"runtime={args.runtime}, sampler={args.sampler}")
+    print()
+    print(profiler.table(limit=args.top))
+    manifest = _run_manifest(args, ctx, protocol="profile")
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            handle.write(profiler.folded())
+        print(f"wrote folded stacks to {args.folded}", file=sys.stderr)
+    if args.flame:
+        with open(args.flame, "w") as handle:
+            handle.write(profiler.to_flame_json())
+        print(f"wrote flame JSON to {args.flame}", file=sys.stderr)
+    if args.chrome:
+        with open(args.chrome, "w") as handle:
+            handle.write(profiler.to_chrome(manifest=manifest))
+        print(f"wrote Chrome sample trace to {args.chrome}",
+              file=sys.stderr)
+    return 0
+
+
+def _null_context():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.analysis.verifier import report, verify_all
 
@@ -954,6 +1183,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="flag guards waiting past TICKS logical ticks "
                            "and exit non-zero on any stall "
                            "(--runtime async only)")
+    toss.add_argument("--profile", action="store_true",
+                      help="sample the open span stack once per settled "
+                           "round and print the top frames (behaviour "
+                           "is unchanged: the sampler subscribes to the "
+                           "always-published round topic)")
     _add_export_arguments(toss)
     _add_flight_argument(toss)
     toss.set_defaults(func=_cmd_toss)
@@ -1072,6 +1306,61 @@ def build_parser() -> argparse.ArgumentParser:
                             "every guard fired at exactly its quorum)")
     _add_export_arguments(waits)
     waits.set_defaults(func=_cmd_waits, runtime="async")
+
+    runs = sub.add_parser(
+        "runs",
+        help="list the bench history ledger with provenance manifests",
+    )
+    runs.add_argument("--history", default=None, metavar="PATH",
+                      help="history file (default ./BENCH_history.json)")
+    runs.add_argument("--flavour", choices=("smoke", "full", "all"),
+                      default="all", help="filter rows by bench flavour")
+    runs.add_argument("--limit", type=int, default=0,
+                      help="show only the most recent N rows (0 = all)")
+    runs.set_defaults(func=_cmd_runs)
+
+    diff_cmd = sub.add_parser(
+        "diff",
+        help="cross-run diff: per-phase x per-op deltas and CostModel-"
+             "priced regression attribution between two recordings",
+    )
+    diff_cmd.add_argument("a", help="span JSONL export, bench payload, "
+                                    "or history file (the 'before' run)")
+    diff_cmd.add_argument("b", help="the 'after' run (same formats)")
+    diff_cmd.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the attribution report to PATH")
+    diff_cmd.add_argument("--op-cost", default=None,
+                          metavar="add=A,mul=M,inv=I,interp=P",
+                          help="per-op pricing for the attribution "
+                               "(default: microbenchmark-derived weights)")
+    diff_cmd.add_argument("--expect-empty", action="store_true",
+                          help="exit non-zero if any deterministic metric "
+                               "differs (identical-seed conformance gate)")
+    diff_cmd.set_defaults(func=_cmd_diff)
+
+    profile = sub.add_parser(
+        "profile",
+        help="sampling profiler over one instrumented Coin-Gen session "
+             "(samples land on protocol/phase/round span frames)",
+    )
+    _add_system_arguments(profile)
+    profile.add_argument("--M", type=int, default=8, help="coins per batch")
+    profile.add_argument("--sampler", choices=("rounds", "timer"),
+                         default="rounds",
+                         help="rounds = one deterministic sample per "
+                              "settled round; timer = wall-clock daemon "
+                              "sampling every --interval seconds")
+    profile.add_argument("--interval", type=float, default=0.001,
+                         help="timer sampling period in seconds")
+    profile.add_argument("--top", type=int, default=15,
+                         help="frames shown in the table")
+    profile.add_argument("--folded", default=None, metavar="PATH",
+                         help="write collapsed stacks (flamegraph.pl input)")
+    profile.add_argument("--flame", default=None, metavar="PATH",
+                         help="write hierarchical flame-graph JSON")
+    profile.add_argument("--chrome", default=None, metavar="PATH",
+                         help="write sample instants as a Chrome trace")
+    profile.set_defaults(func=_cmd_profile)
 
     forensics = sub.add_parser(
         "forensics",

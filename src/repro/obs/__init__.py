@@ -41,7 +41,17 @@ Corollary 1).  This package makes those costs observable on live runs:
   guard wait-state topics: per-wait quorum latency with pivotal-sender
   attribution (:class:`~repro.obs.liveness.QuorumLatencyRecorder`) and
   an online :class:`~repro.obs.liveness.StallWatchdog` classifying
-  stalls as crash-induced vs. unexplained withholding.
+  stalls as crash-induced vs. unexplained withholding;
+* :mod:`repro.obs.manifest` — :class:`~repro.obs.manifest.RunManifest`,
+  the provenance stamp (parameters, backend, runtime, environment) with
+  a stable semantic fingerprint, attached to bench rows and exports;
+* :mod:`repro.obs.diffing` — cross-run analysis: reduce any recording
+  to a per-phase metric table (:class:`~repro.obs.diffing.RunProfile`),
+  diff two of them, and price the op deltas into a makespan attribution
+  ("clique-phase interpolations account for 78% of the slowdown");
+* :mod:`repro.obs.profile` — an opt-in sampling profiler aligned to
+  the open span stack (protocol → phase → round frames), with folded
+  stacks, flame JSON and Chrome export; byte-identical runs when off.
 """
 
 from repro.obs.bus import EventBus
@@ -98,6 +108,19 @@ from repro.obs.flight import (
 )
 from repro.obs.forensics import AccusationReport, analyze_log
 from repro.obs.health import HealthMonitor
+from repro.obs.manifest import RunManifest
+from repro.obs.diffing import (
+    Attribution,
+    DiffRow,
+    ProfileDiff,
+    RunProfile,
+    diff_profiles,
+    diff_recordings,
+    profile_from_bench_phases,
+    profile_from_jsonl,
+    profile_from_recorder,
+)
+from repro.obs.profile import Sample, SamplingProfiler
 
 __all__ = [
     "EventBus",
@@ -143,4 +166,16 @@ __all__ = [
     "AccusationReport",
     "analyze_log",
     "HealthMonitor",
+    "RunManifest",
+    "RunProfile",
+    "ProfileDiff",
+    "DiffRow",
+    "Attribution",
+    "diff_profiles",
+    "diff_recordings",
+    "profile_from_recorder",
+    "profile_from_jsonl",
+    "profile_from_bench_phases",
+    "SamplingProfiler",
+    "Sample",
 ]

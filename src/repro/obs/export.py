@@ -38,10 +38,19 @@ ROUND_TID = 2
 PLAYER_TID = 10
 
 
-def to_jsonl(recorder: SpanRecorder) -> str:
-    """All spans (incl. synthesized phases) as newline-delimited JSON."""
-    lines = [json.dumps(span.to_dict(), default=str)
-             for span in recorder.all_spans()]
+def to_jsonl(recorder: SpanRecorder, manifest=None) -> str:
+    """All spans (incl. synthesized phases) as newline-delimited JSON.
+
+    ``manifest`` (a :class:`~repro.obs.manifest.RunManifest`) prepends a
+    ``{"kind": "manifest", ...}`` provenance line, which the diffing
+    loader (:func:`~repro.obs.diffing.profile_from_jsonl`) reads back.
+    """
+    lines = []
+    if manifest is not None:
+        lines.append(json.dumps({"kind": "manifest",
+                                 **manifest.to_dict()}))
+    lines.extend(json.dumps(span.to_dict(), default=str)
+                 for span in recorder.all_spans())
     for fault in recorder.faults:
         lines.append(json.dumps({"kind": "fault", **fault}))
     return "\n".join(lines) + "\n"
@@ -145,7 +154,8 @@ def _flow_events(recorder: SpanRecorder, graph, flows: str, model,
 
 
 def to_chrome_trace(recorder: SpanRecorder, graph=None,
-                    flows: str = "critical", model=None) -> str:
+                    flows: str = "critical", model=None,
+                    manifest=None) -> str:
     """Trace Event Format JSON (open with Perfetto or chrome://tracing).
 
     ``graph`` (a :class:`~repro.obs.causality.CausalGraph`) overlays
@@ -153,6 +163,8 @@ def to_chrome_trace(recorder: SpanRecorder, graph=None,
     only the edges on each run's critical path under ``model`` (default
     :class:`~repro.obs.critical_path.CostModel`), ``flows="all"`` draws
     every message edge, ``flows="none"`` suppresses arrows.
+    ``manifest`` lands in the trace's top-level ``metadata`` object
+    (Perfetto shows it in the trace-info view).
     """
     spans = recorder.all_spans()
     origin = min((s.t0 for s in spans), default=0.0)
@@ -188,8 +200,10 @@ def to_chrome_trace(recorder: SpanRecorder, graph=None,
             "s": "t",
             "args": fault,
         })
-    return json.dumps({"traceEvents": events,
-                       "displayTimeUnit": "ms"}, indent=1)
+    payload: Dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if manifest is not None:
+        payload["metadata"] = manifest.to_dict()
+    return json.dumps(payload, indent=1)
 
 
 #: wall-clock span-duration buckets (seconds)

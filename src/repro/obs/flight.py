@@ -141,6 +141,10 @@ class FlightLog:
     faults: List[FaultEvent] = dataclass_field(default_factory=list)
     #: total events recorded (run markers included), for index bookkeeping
     event_count: int = 0
+    #: optional provenance stamp (a RunManifest dict); carried in the
+    #: header, ignored by diff/replay (same version-1 wire format —
+    #: readers without manifest support skip the unknown header key)
+    manifest: Optional[Dict[str, Any]] = None
 
     # -- (de)serialization --------------------------------------------------
     def dumps(self) -> str:
@@ -149,6 +153,8 @@ class FlightLog:
             header["field"] = self.field
         if self.seed is not None:
             header["seed"] = self.seed
+        if self.manifest:
+            header["manifest"] = self.manifest
         lines = [json.dumps(header, sort_keys=True)]
         events: List[Tuple[int, dict]] = []
         run_marks = _run_marker_indices(self.rounds, self.faults,
@@ -190,7 +196,8 @@ class FlightLog:
                 f"(this build reads version {FLIGHT_VERSION})"
             )
         log = cls(n=header["n"], t=header["t"], field=header.get("field"),
-                  seed=header.get("seed"), version=version)
+                  seed=header.get("seed"), version=version,
+                  manifest=header.get("manifest"))
         run = 0
         for line in lines[1:]:
             record = json.loads(line)
@@ -266,11 +273,13 @@ class FlightRecorder:
     number that does not advance also starts a new run.
     """
 
-    def __init__(self, n: int, t: int, field=None, seed: Optional[int] = None):
+    def __init__(self, n: int, t: int, field=None, seed: Optional[int] = None,
+                 manifest: Optional[Dict[str, Any]] = None):
         self.n = n
         self.t = t
         self.field_spec = field_spec(field) if field is not None else None
         self.seed = seed
+        self.manifest = manifest
         self._rounds: List[RoundEvent] = []
         self._faults: List[FaultEvent] = []
         self._index = 0
@@ -332,7 +341,7 @@ class FlightRecorder:
         return FlightLog(
             n=self.n, t=self.t, field=self.field_spec, seed=self.seed,
             rounds=list(self._rounds), faults=list(self._faults),
-            event_count=self._index,
+            event_count=self._index, manifest=self.manifest,
         )
 
     def dump(self, path: str) -> None:

@@ -1,0 +1,254 @@
+"""An opt-in sampling profiler aligned to the open span context.
+
+``cProfile``/``sys.setprofile`` hooks fire on *every* call and would
+perturb exactly the hot paths this repo benchmarks.  This profiler
+samples instead: each sample snapshots the :class:`SpanRecorder`'s
+open-span stack (protocol → phase → round) plus, in timer mode, the
+interpreter's code frames — so aggregated samples land on the same
+protocol/phase/round hierarchy every other obs view uses, not on
+anonymous bytecode addresses.
+
+Two sampling modes
+------------------
+* **Deterministic** (:meth:`SamplingProfiler.attach_rounds`): subscribe
+  to the bus's ``"round"`` topic and take one sample per settled round
+  on the protocol thread.  The ``round`` topic is published
+  unconditionally (tracers already live there), so attaching changes no
+  behaviour — runs stay byte-identical, which makes this the mode tests
+  and CI use.
+* **Timer** (:meth:`SamplingProfiler.start` / the context manager): a
+  daemon thread wakes every ``interval`` seconds and snapshots both the
+  span stack and the target thread's code frames via
+  ``sys._current_frames`` — real wall-clock attribution for long runs.
+
+Late resolution is the trick that makes span samples honest: a sample
+stores *references* to the open :class:`~repro.obs.spans.Span` objects,
+and names/phases are resolved only at aggregation time — after the
+runtime has backfilled each round span's ``phase`` attribute at round
+end.  Sampling mid-round therefore still attributes to the right phase.
+
+Disabled is free, by construction: a profiler that is never constructed
+touches nothing, and every output (folded stacks, flame JSON, Chrome
+trace, the top-frame table) is derived purely from the sample list.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.bus import ROUND
+from repro.obs.spans import Span, SpanRecorder
+
+#: code frames kept per sample (innermost last), timer mode only
+_MAX_CODE_FRAMES = 12
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One snapshot: open spans (outermost first) + code frame names."""
+
+    t: float
+    spans: Tuple[Span, ...]
+    frames: Tuple[str, ...] = ()
+
+
+def _span_frames(span: Span) -> List[str]:
+    """Frame labels one open span contributes, outermost first."""
+    if span.kind == "round":
+        # the phase attr is backfilled at round end; resolving here
+        # (aggregation time) is what lands mid-round samples correctly
+        phase = span.attrs.get("phase", "other")
+        return [f"phase:{phase}", span.name]
+    if span.kind == "player":
+        player = span.attrs.get("player")
+        return [f"player {player}" if player is not None else span.name]
+    return [span.name]
+
+
+def _code_frames(frame) -> Tuple[str, ...]:
+    """``module:function`` labels for a code frame chain, outermost first."""
+    names: List[str] = []
+    while frame is not None and len(names) < _MAX_CODE_FRAMES:
+        code = frame.f_code
+        module = code.co_filename.rsplit("/", 1)[-1]
+        names.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    names.reverse()
+    return tuple(names)
+
+
+class SamplingProfiler:
+    """Collects span-context samples; aggregate after the run ends."""
+
+    def __init__(self, recorder: SpanRecorder, interval: float = 0.001,
+                 clock=time.perf_counter) -> None:
+        self.recorder = recorder
+        self.interval = interval
+        self.clock = clock
+        self.samples: List[Sample] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._target_ident: Optional[int] = None
+
+    # -- sampling ---------------------------------------------------------
+    def sample_now(self, *_args: Any, **_kwargs: Any) -> None:
+        """Take one sample on the calling thread.
+
+        Ignores positional payload so it can subscribe directly to bus
+        topics.  Stores span *references*; names resolve at aggregation.
+        """
+        self.samples.append(
+            Sample(t=self.clock(), spans=tuple(self.recorder._stack))
+        )
+
+    def attach_rounds(self, bus) -> "SamplingProfiler":
+        """Deterministic mode: one sample per settled round.
+
+        The ``round`` topic is published unconditionally, so this
+        subscription cannot change run behaviour (asserted by the
+        byte-identity tests).
+        """
+        bus.subscribe(ROUND, self.sample_now)
+        return self
+
+    def detach_rounds(self, bus) -> None:
+        bus.unsubscribe(ROUND, self.sample_now)
+
+    def _timer_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            frames: Tuple[str, ...] = ()
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is not None:
+                frames = _code_frames(frame)
+            self.samples.append(
+                Sample(t=self.clock(), spans=tuple(self.recorder._stack),
+                       frames=frames)
+            )
+
+    def start(self) -> "SamplingProfiler":
+        """Timer mode: sample the calling thread every ``interval`` s."""
+        if self._thread is not None:
+            return self
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._timer_loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- aggregation ------------------------------------------------------
+    def stacks(self) -> Dict[Tuple[str, ...], int]:
+        """``{frame-path: sample count}`` with names resolved now."""
+        out: Dict[Tuple[str, ...], int] = {}
+        for sample in self.samples:
+            path: List[str] = []
+            for span in sample.spans:
+                path.extend(_span_frames(span))
+            path.extend(sample.frames)
+            key = tuple(path) if path else ("(idle)",)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def folded(self) -> str:
+        """Collapsed-stack lines (``a;b;c 42``), flamegraph.pl input."""
+        lines = [
+            ";".join(path) + f" {count}"
+            for path, count in sorted(self.stacks().items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_flame_json(self) -> str:
+        """Hierarchical flame-graph JSON (d3-flame-graph shape)."""
+
+        def node(name: str) -> Dict[str, Any]:
+            return {"name": name, "value": 0, "children": []}
+
+        root = node("all")
+        for path, count in sorted(self.stacks().items()):
+            root["value"] += count
+            cursor = root
+            for name in path:
+                child = next(
+                    (c for c in cursor["children"] if c["name"] == name),
+                    None,
+                )
+                if child is None:
+                    child = node(name)
+                    cursor["children"].append(child)
+                child["value"] += count
+                cursor = child
+        return json.dumps(root, indent=1)
+
+    def to_chrome(self, manifest=None) -> str:
+        """Samples as Trace Event instant events on a profiler lane."""
+        origin = min((s.t for s in self.samples), default=0.0)
+        events: List[Dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 3,
+             "args": {"name": "repro profiler (samples)"}},
+        ]
+        for sample in self.samples:
+            path: List[str] = []
+            for span in sample.spans:
+                path.extend(_span_frames(span))
+            path.extend(sample.frames)
+            events.append({
+                "name": path[-1] if path else "(idle)",
+                "cat": "sample",
+                "ph": "i",
+                "ts": (sample.t - origin) * 1e6,
+                "pid": 3,
+                "tid": 0,
+                "s": "t",
+                "args": {"stack": ";".join(path)},
+            })
+        payload: Dict[str, Any] = {"traceEvents": events,
+                                   "displayTimeUnit": "ms"}
+        if manifest is not None:
+            payload["metadata"] = manifest.to_dict()
+        return json.dumps(payload, indent=1)
+
+    def table(self, limit: int = 15) -> str:
+        """Top frames by inclusive/self sample counts."""
+        inclusive: Dict[str, int] = {}
+        self_counts: Dict[str, int] = {}
+        total = 0
+        for path, count in self.stacks().items():
+            total += count
+            for name in set(path):
+                inclusive[name] = inclusive.get(name, 0) + count
+            leaf = path[-1]
+            self_counts[leaf] = self_counts.get(leaf, 0) + count
+        header = (f"{'frame':<40} {'self':>8} {'incl':>8} {'incl%':>7}")
+        lines = [f"{len(self.samples)} samples", header,
+                 "-" * len(header)]
+        ranked = sorted(
+            inclusive.items(), key=lambda item: (-item[1], item[0])
+        )
+        for name, count in ranked[:limit]:
+            share = count / total if total else 0.0
+            lines.append(
+                f"{name:<40} {self_counts.get(name, 0):>8} {count:>8} "
+                f"{share:>6.1%}"
+            )
+        if not ranked:
+            lines.append("(no samples collected)")
+        return "\n".join(lines)

@@ -96,3 +96,143 @@ class TestCheckHistory:
         )
         rows = json.loads(path.read_text())["rows"]
         assert len(rows) == 2  # appended even when the gate fails
+
+
+PROFILE = {
+    "coin_gen_n7_t1_M8": [
+        {"phase": "clique", "rounds": 3, "messages": 100, "bits": 800,
+         "adds": 50, "muls": 60, "invs": 2, "interpolations": 8,
+         "wall_s": 0.01},
+    ],
+}
+
+
+class TestSchema2Rows:
+    def test_append_writes_schema_2_with_manifest_and_profile(
+            self, tmp_path):
+        path = tmp_path / "history.json"
+        bench.append_history(
+            {"smoke": True, "python": "3.12.0", "speedups": {"bench_x": 2.0},
+             "manifest": {"protocol": "bench", "n": 7},
+             "profile": PROFILE},
+            path,
+        )
+        stored = json.loads(path.read_text())["rows"][0]
+        assert stored["schema"] == 2
+        assert stored["manifest"]["protocol"] == "bench"
+        assert stored["profile"] == PROFILE
+
+    def test_append_without_manifest_still_schema_2(self, tmp_path):
+        path = tmp_path / "history.json"
+        bench.append_history(
+            {"smoke": True, "python": "3.12.0", "speedups": {}}, path
+        )
+        stored = json.loads(path.read_text())["rows"][0]
+        assert stored["schema"] == 2
+        assert "manifest" not in stored and "profile" not in stored
+
+    def test_committed_legacy_history_reads_unchanged(self, tmp_path):
+        """Migration: the repo's committed v1 history gates without
+        modification — legacy rows have no schema key, and mixing in a
+        new schema-2 row keeps every speedup sample visible."""
+        committed = BENCH_PATH.parent.parent / "BENCH_history.json"
+        rows = json.loads(committed.read_text())["rows"]
+        assert rows, "committed history is empty"
+        assert all("schema" not in r for r in rows)  # still v1 on disk
+        path = history_file(tmp_path, rows)
+        key = next(iter(rows[-1]["speedups"]))
+        reference = rows[-1]["speedups"][key]
+        current = {"smoke": rows[-1]["smoke"],
+                   "speedups": {key: reference}}
+        assert bench.check_history(current, path, 5, 0.20) == []
+        bench.append_history({**current, "python": "3.12.0"}, path)
+        mixed = json.loads(path.read_text())["rows"]
+        assert "schema" not in mixed[-2] and mixed[-1]["schema"] == 2
+        assert bench.check_history(current, path, 5, 0.20) == []
+
+
+class TestWindowShortfallWarning:
+    def test_warns_on_thin_key_in_deep_history(self, tmp_path, capsys):
+        # four rows know bench_x; only the last knows bench_renamed —
+        # in a window-3 guard over a deep history that must be called out
+        rows = [row(10.0) for _ in range(3)]
+        rows.append({**row(10.0),
+                     "speedups": {"bench_x": 10.0, "bench_renamed": 5.0}})
+        path = history_file(tmp_path, rows)
+        current = {"smoke": True,
+                   "speedups": {"bench_x": 10.0, "bench_renamed": 5.0}}
+        assert bench.check_history(current, path, 3, 0.20) == []
+        out = capsys.readouterr().out
+        assert "WARNING" in out and "bench_renamed" in out
+        assert "bench_x" not in out.split("WARNING")[1].splitlines()[0]
+
+    def test_no_warning_while_history_is_young(self, tmp_path, capsys):
+        path = history_file(tmp_path, [row(10.0), row(10.0)])
+        assert bench.check_history(payload(10.0), path, 5, 0.20) == []
+        assert "WARNING" not in capsys.readouterr().out
+
+
+class TestOnlySelection:
+    def test_key_bench_longest_prefix_wins(self):
+        assert bench.key_bench(
+            "batch_vss_gfp_n33_t10_M2_ntt_vs_off") == "batch_vss_gfp"
+        assert bench.key_bench(
+            "batch_vss_n7_t2_M16_shared_vs_off") == "batch_vss"
+        assert bench.key_bench(
+            "field_gf2k32_clmul_mul_many_numpy_vs_python") == "field"
+        assert bench.key_bench(
+            "async_coin_n7_t2_c4_delivery_efficiency") == "async_coin"
+        assert bench.key_bench("unknown_key") is None
+
+    def test_check_regressions_skips_unselected_families(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "smoke": True,
+            "speedups": {"coin_gen_n7_t1_M8_shared_vs_off": 5.0,
+                         "async_coin_n7_t2_c4_delivery_efficiency": 0.9},
+        }))
+        current = {"smoke": True, "backends": ["python"],
+                   "speedups": {
+                       "async_coin_n7_t2_c4_delivery_efficiency": 0.9}}
+        # without --only the absent coin_gen key is configuration drift
+        assert bench.check_regressions(current, baseline, 0.20)
+        # with --only async_coin it is a deliberate partial run
+        assert bench.check_regressions(
+            current, baseline, 0.20, only=["async_coin"]) == []
+
+
+class TestHistoryAttribution:
+    def test_blames_the_phase_and_op_that_moved(self, tmp_path):
+        reference = {**row(10.0), "schema": 2,
+                     "manifest": {"protocol": "bench", "n": 7},
+                     "profile": PROFILE}
+        path = history_file(tmp_path, [reference])
+        regressed = {
+            "coin_gen_n7_t1_M8": [
+                {**PROFILE["coin_gen_n7_t1_M8"][0],
+                 "muls": 660, "invs": 40},
+            ],
+        }
+        report = bench.history_attribution(
+            {"smoke": True, "speedups": {}, "profile": regressed,
+             "manifest": {"protocol": "bench", "n": 7}},
+            path,
+        )
+        assert report is not None
+        assert "== coin_gen_n7_t1_M8 ==" in report
+        assert "clique" in report and "muls" in report
+        assert "priced attribution" in report
+
+    def test_none_over_legacy_history(self, tmp_path):
+        path = history_file(tmp_path, [row(10.0)])  # v1: no profile
+        assert bench.history_attribution(
+            {"smoke": True, "speedups": {}, "profile": PROFILE}, path
+        ) is None
+
+    def test_none_when_current_run_has_no_profile(self, tmp_path):
+        path = history_file(
+            tmp_path, [{**row(10.0), "schema": 2, "profile": PROFILE}]
+        )
+        assert bench.history_attribution(
+            {"smoke": True, "speedups": {}}, path
+        ) is None

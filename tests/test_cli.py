@@ -135,3 +135,140 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+def _bench_payload(tmp_path, name, muls=60, n=7):
+    payload = {
+        "manifest": {"protocol": "bench", "field": "gf2k:32", "n": n},
+        "results": [{
+            "bench": "coin_gen", "n": n, "t": 1, "M": 8,
+            "phases": [{"phase": "clique", "rounds": 3, "messages": 10,
+                        "bits": 80, "adds": 4, "muls": muls, "invs": 1,
+                        "interpolations": 2, "wall_s": 0.01}],
+        }],
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestRuns:
+    def test_lists_legacy_and_manifested_rows(self, tmp_path, capsys):
+        history = tmp_path / "history.json"
+        history.write_text(json.dumps({"rows": [
+            {"timestamp": "2026-01-01T00:00:00+00:00", "smoke": True,
+             "speedups": {"bench_x": 2.0}},
+            {"schema": 2, "timestamp": "2026-01-02T00:00:00+00:00",
+             "smoke": True, "speedups": {"bench_x": 2.1},
+             "manifest": {"protocol": "bench", "n": 7}},
+        ]}))
+        assert main(["runs", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "legacy v1 row" in out
+        assert "protocol=bench" in out and "#" in out
+
+    def test_flavour_filter_and_limit(self, tmp_path, capsys):
+        history = tmp_path / "history.json"
+        history.write_text(json.dumps({"rows": [
+            {"timestamp": "t1", "smoke": False, "speedups": {}},
+            {"timestamp": "t2", "smoke": True, "speedups": {}},
+        ]}))
+        assert main(["runs", "--history", str(history),
+                     "--flavour", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out and "t2" in out
+
+    def test_missing_history_fails(self, tmp_path, capsys):
+        assert main(["runs", "--history",
+                     str(tmp_path / "absent.json")]) == 1
+        assert "no readable history" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_identical_payloads_diff_empty(self, tmp_path, capsys):
+        a = _bench_payload(tmp_path, "a.json")
+        b = _bench_payload(tmp_path, "b.json")
+        assert main(["diff", a, b, "--expect-empty"]) == 0
+        out = capsys.readouterr().out
+        assert "== coin_gen_n7_t1_M8 ==" in out
+        assert "behaviourally identical" in out
+
+    def test_regression_produces_attribution(self, tmp_path, capsys):
+        a = _bench_payload(tmp_path, "a.json", muls=60)
+        b = _bench_payload(tmp_path, "b.json", muls=660)
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "muls" in out and "priced attribution" in out
+        assert "clique" in out
+
+    def test_expect_empty_gates_on_regression(self, tmp_path, capsys):
+        a = _bench_payload(tmp_path, "a.json", muls=60)
+        b = _bench_payload(tmp_path, "b.json", muls=660)
+        assert main(["diff", a, b, "--expect-empty"]) == 1
+        assert "DIFF NOT EMPTY" in capsys.readouterr().err
+
+    def test_out_writes_report(self, tmp_path, capsys):
+        a = _bench_payload(tmp_path, "a.json", muls=60)
+        b = _bench_payload(tmp_path, "b.json", muls=660)
+        report = tmp_path / "report.txt"
+        assert main(["diff", a, b, "--out", str(report)]) == 0
+        assert "priced attribution" in report.read_text()
+
+    def test_no_common_configuration_exits_2(self, tmp_path, capsys):
+        a = _bench_payload(tmp_path, "a.json", n=7)
+        b = _bench_payload(tmp_path, "b.json", n=13)
+        assert main(["diff", a, b]) == 2
+        assert "no common configurations" in capsys.readouterr().err
+
+    def test_jsonl_export_diffs_against_itself(self, tmp_path, capsys):
+        export = tmp_path / "spans.jsonl"
+        assert main(["trace", "--n", "7", "--t", "1", "--M", "2",
+                     "--seed", "3", "--export", "jsonl",
+                     "--export-out", str(export)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(export), str(export),
+                     "--expect-empty"]) == 0
+        assert "behaviourally identical" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_rounds_sampler_reports_phase_frames(self, tmp_path, capsys):
+        folded = tmp_path / "stacks.folded"
+        assert main(["profile", "--n", "7", "--t", "1", "--M", "2",
+                     "--seed", "3", "--folded", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out
+        assert "coin_gen" in out
+        assert "phase:" in folded.read_text()
+
+    def test_chrome_export_carries_manifest(self, tmp_path):
+        chrome = tmp_path / "samples.json"
+        assert main(["profile", "--n", "7", "--t", "1", "--M", "2",
+                     "--seed", "3", "--chrome", str(chrome)]) == 0
+        payload = json.loads(chrome.read_text())
+        assert payload["metadata"]["protocol"] == "profile"
+        assert payload["metadata"]["n"] == 7
+
+    def test_async_runtime_profiles_too(self, capsys):
+        assert main(["profile", "--runtime", "async", "--n", "7",
+                     "--t", "2", "--M", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime=async" in out and "samples" in out
+
+
+class TestTossProfile:
+    def test_profile_flag_appends_sample_table(self, capsys):
+        assert main(["toss", "--count", "8", "--batch", "4",
+                     "--seed", "1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "samples" in out and "coin_gen" in out
+
+    def test_bits_identical_with_and_without_profiler(self, capsys):
+        assert main(["toss", "--count", "16", "--batch", "4",
+                     "--seed", "9"]) == 0
+        plain = capsys.readouterr().out.strip().splitlines()[0]
+        assert main(["toss", "--count", "16", "--batch", "4",
+                     "--seed", "9", "--profile"]) == 0
+        profiled = capsys.readouterr().out.strip().splitlines()[0]
+        assert profiled == plain

@@ -1,0 +1,151 @@
+"""The sampling profiler: span-aligned samples, outputs, and the
+disabled-is-free contract.
+
+The load-bearing assertion is byte-identity: attaching the profiler's
+deterministic sampler (a pure subscriber on the unconditionally
+published ``round`` topic) must not change the delivered message stream
+on either runtime — asserted via flight-log equality, the same
+discipline the NULL_RECORDER tests use.
+"""
+
+import json
+
+from repro.fields import GF2k
+from repro.net import RandomOrderScheduler
+from repro.obs import SpanRecorder
+from repro.obs.flight import FlightRecorder
+from repro.obs.manifest import RunManifest
+from repro.obs.profile import Sample, SamplingProfiler
+from repro.protocols.async_coin import run_async_coin
+from repro.protocols.coin_gen import run_coin_gen
+from repro.protocols.context import ProtocolContext
+
+FIELD = GF2k(32)
+
+
+def lockstep_flight(profiled):
+    """One recorded lockstep Coin-Gen; optionally with the profiler on."""
+    recorder = SpanRecorder()
+    ctx = ProtocolContext.create(FIELD, 7, 1, seed=3, recorder=recorder)
+    flight = FlightRecorder(n=7, t=1, field=FIELD, seed=3)
+    flight.attach(ctx.ensure_bus())
+    profiler = None
+    if profiled:
+        profiler = SamplingProfiler(recorder).attach_rounds(ctx.bus)
+    out, _ = run_coin_gen(ctx, M=4)
+    assert all(o.success for o in out.values())
+    return flight.log(), profiler
+
+
+def async_flight(profiled):
+    """One recorded async coin; optionally with the profiler on."""
+    recorder = SpanRecorder()
+    ctx = ProtocolContext.create(
+        FIELD, 7, 2, seed=1,
+        scheduler=RandomOrderScheduler(seed=101), recorder=recorder,
+    )
+    flight = FlightRecorder(n=7, t=2, field=FIELD, seed=1)
+    flight.attach(ctx.ensure_bus())
+    profiler = None
+    if profiled:
+        profiler = SamplingProfiler(recorder).attach_rounds(ctx.bus)
+    outputs, secret, _runtime = run_async_coin(ctx)
+    assert set(outputs.values()) == {secret}
+    return flight.log(), profiler
+
+
+class TestByteIdentity:
+    def test_lockstep_flight_log_unchanged_by_profiler(self):
+        baseline, _ = lockstep_flight(profiled=False)
+        profiled, profiler = lockstep_flight(profiled=True)
+        assert profiled.dumps() == baseline.dumps()
+        assert profiler.samples  # it did observe the run it didn't touch
+
+    def test_async_flight_log_unchanged_by_profiler(self):
+        baseline, _ = async_flight(profiled=False)
+        profiled, profiler = async_flight(profiled=True)
+        assert profiled.dumps() == baseline.dumps()
+        assert profiler.samples
+
+
+class TestRoundSampling:
+    def test_samples_land_on_protocol_phase_round_frames(self):
+        _, profiler = lockstep_flight(profiled=True)
+        stacks = profiler.stacks()
+        assert sum(stacks.values()) == len(profiler.samples)
+        phases = set()
+        for path in stacks:
+            assert path[0] == "coin_gen"
+            phases.update(f for f in path if f.startswith("phase:"))
+        # late resolution: the phase attr is backfilled at round end,
+        # yet every sample still resolves to a real protocol phase
+        assert "phase:other" not in phases
+        assert len(phases) >= 3
+
+    def test_detach_stops_sampling(self):
+        recorder = SpanRecorder()
+        ctx = ProtocolContext.create(FIELD, 7, 1, seed=3,
+                                     recorder=recorder)
+        profiler = SamplingProfiler(recorder)
+        profiler.attach_rounds(ctx.ensure_bus())
+        run_coin_gen(ctx, M=2)
+        taken = len(profiler.samples)
+        assert taken > 0
+        profiler.detach_rounds(ctx.bus)
+        run_coin_gen(ctx, M=2)
+        assert len(profiler.samples) == taken
+
+
+class TestTimerMode:
+    def test_context_manager_collects_without_perturbing_results(self):
+        recorder = SpanRecorder()
+        ctx = ProtocolContext.create(FIELD, 7, 1, seed=3,
+                                     recorder=recorder)
+        profiler = SamplingProfiler(recorder, interval=0.0002)
+        with profiler:
+            out, _ = run_coin_gen(ctx, M=4)
+        assert all(o.success for o in out.values())
+        assert profiler._thread is None  # stopped on exit
+        # whatever was sampled aggregates cleanly (timing-dependent
+        # sample counts are fine; crashes are not)
+        profiler.stacks()
+        profiler.table()
+
+    def test_idle_samples_fold_to_idle_frame(self):
+        profiler = SamplingProfiler(SpanRecorder())
+        profiler.samples.append(Sample(t=0.0, spans=()))
+        assert profiler.stacks() == {("(idle)",): 1}
+        assert profiler.folded() == "(idle) 1\n"
+
+
+class TestOutputs:
+    def test_folded_flame_and_chrome_shapes(self):
+        _, profiler = lockstep_flight(profiled=True)
+        folded = profiler.folded()
+        assert all(line.rsplit(" ", 1)[1].isdigit()
+                   for line in folded.strip().splitlines())
+        flame = json.loads(profiler.to_flame_json())
+        assert flame["name"] == "all"
+        assert flame["value"] == len(profiler.samples)
+        assert flame["children"][0]["name"] == "coin_gen"
+        manifest = RunManifest.capture(field=FIELD, protocol="coin_gen",
+                                       n=7, t=1, seed=3)
+        chrome = json.loads(profiler.to_chrome(manifest=manifest))
+        assert chrome["metadata"]["field"] == "gf2k:32"
+        instants = [e for e in chrome["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(profiler.samples)
+        assert all(e["pid"] == 3 for e in instants)
+
+    def test_table_ranks_by_inclusive_samples(self):
+        _, profiler = lockstep_flight(profiled=True)
+        table = profiler.table(limit=5)
+        lines = table.splitlines()
+        assert lines[0] == f"{len(profiler.samples)} samples"
+        assert "coin_gen" in table
+        assert "100.0%" in table  # the protocol frame spans every sample
+
+    def test_empty_profiler_outputs_are_well_formed(self):
+        profiler = SamplingProfiler(SpanRecorder())
+        assert profiler.folded() == ""
+        assert json.loads(profiler.to_flame_json())["value"] == 0
+        assert "(no samples collected)" in profiler.table()
