@@ -459,6 +459,45 @@ def bench_async_liveness(results, smoke):
         })
 
 
+def bench_campaign(results, smoke):
+    """Deterministic campaign-observatory rows (DESIGN.md §14).
+
+    Runs a seeded clean-only slice of the default scenario space plus
+    the known-bad negative controls, and records cell counts, outcome
+    tallies, and scenario-space coverage.  Everything is derived from
+    seeded executions — no wall-clock — so the row is byte-diffable
+    across commits.  Three ratios ride the ``--check-history`` gate,
+    all pinned at 1.0 while the stack is healthy: ``clean_rate`` (a
+    drop means an in-model scenario started tripping the oracle),
+    ``coverage`` (a drop means enumeration lost reachable grid cells),
+    and ``detection_rate`` (a drop means the oracle stopped catching a
+    seeded breakage — a silent-regression alarm for the oracle itself).
+    """
+    from repro.campaign import (
+        default_space, known_bad_scenarios, run_campaign,
+    )
+
+    seeds = (0,) if smoke else (0, 1)
+    sched_seeds = (0,) if smoke else (0, 1)
+    space = default_space(seeds=seeds, sched_seeds=sched_seeds,
+                          clean_only=True)
+    cells = space.cells()
+    result = run_campaign(cells)
+    counts = result.status_counts()
+    known_bad = run_campaign(known_bad_scenarios())
+    results.append({
+        "bench": "campaign",
+        "n": 7, "t": 1,
+        "cells": len(cells),
+        "clean": counts["clean"],
+        "violated": counts["violated"],
+        "errors": counts["error"],
+        "coverage_percent": round(result.coverage.percentage(space), 2),
+        "known_bad_cells": len(known_bad.outcomes),
+        "known_bad_detected": len(known_bad.violated),
+    })
+
+
 #: bench families, keyed by the prefix their speedup keys start with —
 #: the ``--only`` tokens and the baseline-guard skip both resolve here
 BENCHES = {
@@ -470,6 +509,7 @@ BENCHES = {
     "critical_path": bench_critical_path,
     "async_coin": bench_async_coin,
     "async_liveness": bench_async_liveness,
+    "campaign": bench_campaign,
 }
 
 
@@ -552,6 +592,18 @@ def speedups(results):
                 row["watchdog_threshold"] / row["max_guard_wait"], 2
             )
         out[f"{label}_stall_free"] = 1.0 if row["stalls"] == 0 else 0.0
+    for row in results:
+        if row.get("bench") != "campaign":
+            continue
+        # deterministic observatory health ratios, all pinned at 1.0:
+        # any drop is a protocol, enumeration, or oracle regression
+        label = f"campaign_n{row['n']}_t{row['t']}_c{row['cells']}"
+        out[f"{label}_clean_rate"] = round(row["clean"] / row["cells"], 4)
+        out[f"{label}_coverage"] = round(row["coverage_percent"] / 100, 4)
+        if row["known_bad_cells"]:
+            out[f"{label}_detection_rate"] = round(
+                row["known_bad_detected"] / row["known_bad_cells"], 4
+            )
     return out
 
 

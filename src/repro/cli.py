@@ -33,7 +33,26 @@ Commands
               pivotal sender), in-flight pool gauges, the stall
               watchdog's crash-vs-withholding classification
               (``--watchdog TICKS`` gates the exit code on zero stalls),
-              and ``--audit`` the liveness conformance audit.
+              and ``--audit`` the liveness conformance audit;
+``campaign``  sweep the joint scenario space (adversary × faults ×
+              scheduler × runtime) under the composed violation oracle:
+              ``run`` executes a space or ``--budget`` sampled slice
+              with coverage/triage reports and optional ``--shrink``
+              repro artifacts, ``report`` re-reads a campaign ledger,
+              ``shrink`` minimizes a recorded violation, ``replay``
+              re-runs a repro artifact and verifies it still trips.
+
+Exit codes
+----------
+Every gate-bearing subcommand follows one convention:
+
+* ``0`` — clean: the command ran and every requested gate passed;
+* ``1`` — gate tripped: the run worked but a check failed (audit
+  deviation, unanimity break, stall, regression, campaign violation,
+  coverage below ``--min-coverage``, artifact no longer reproducing);
+* ``2`` — usage or incompatible input: bad flag syntax, an unreadable /
+  unrecognized input file, or options that cannot be combined.
+  (argparse's own errors exit 2 as well.)
 
 ``toss``, ``trace``, and ``critpath`` accept ``--runtime lockstep|async``:
 under ``async`` each coin is exposed on an event-driven
@@ -68,6 +87,29 @@ from repro.net import PermutedDeliveryScheduler, RandomOrderScheduler
 from repro.obs import SpanRecorder, to_chrome_trace, to_jsonl, to_prometheus
 from repro.protocols.context import ProtocolContext
 from repro.protocols.vss import run_vss
+
+
+def _usage_error(message: str) -> "SystemExit":
+    """Exit 2 (usage / incompatible input), per the CLI convention.
+
+    ``raise SystemExit(str)`` would exit 1 — the *gate tripped* code —
+    which misfiles bad flags as failed checks; every usage-error site
+    funnels through here instead.
+    """
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load_flight_log(path: str):
+    """A flight log off disk, or exit 2 when unreadable/unparseable."""
+    from repro.obs.flight import FlightLog
+
+    try:
+        return FlightLog.load(path)
+    except OSError as exc:
+        raise _usage_error(f"{path}: cannot read flight log ({exc})")
+    except ValueError as exc:
+        raise _usage_error(f"{path}: not a flight log ({exc})")
 
 
 def _add_system_arguments(parser: argparse.ArgumentParser, default_n: int = 7,
@@ -559,11 +601,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro.obs.flight import FlightLog, diff, replay
+    from repro.obs.flight import diff, replay
 
-    log = FlightLog.load(args.log)
+    log = _load_flight_log(args.log)
     if args.diff is not None:
-        other = FlightLog.load(args.diff)
+        other = _load_flight_log(args.diff)
         divergence = diff(log, other)
         if divergence is None:
             print("logs are equivalent (no divergent delivery)")
@@ -603,10 +645,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_forensics(args: argparse.Namespace) -> int:
-    from repro.obs.flight import FlightLog
     from repro.obs.forensics import analyze_log
 
-    log = FlightLog.load(args.log)
+    log = _load_flight_log(args.log)
     report = analyze_log(log)
     print(report.summary())
     if args.expect is not None:
@@ -659,10 +700,10 @@ def _parse_what_if(text: str):
         elif key == "scale":
             scale = float(value)
         else:
-            raise SystemExit(f"bad --what-if component {part!r} "
-                             f"(expected player=I,scale=S)")
+            raise _usage_error(f"bad --what-if component {part!r} "
+                               f"(expected player=I,scale=S)")
     if player is None:
-        raise SystemExit("--what-if needs player=I")
+        raise _usage_error("--what-if needs player=I")
     return player, scale
 
 
@@ -677,8 +718,8 @@ def _parse_op_costs(text: Optional[str]) -> dict:
         key, _, value = part.partition("=")
         field_name = names.get(key.strip())
         if field_name is None:
-            raise SystemExit(f"bad --op-cost component {part!r} "
-                             f"(expected add=A,mul=M,inv=I,interp=P)")
+            raise _usage_error(f"bad --op-cost component {part!r} "
+                               f"(expected add=A,mul=M,inv=I,interp=P)")
         out[field_name] = float(value)
     return out
 
@@ -986,12 +1027,25 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             rows = json_module.load(handle)["rows"]
     except (OSError, ValueError, KeyError):
         print(f"no readable history at {path}", file=sys.stderr)
-        return 1
+        return 2
     if args.flavour != "all":
         want_smoke = args.flavour == "smoke"
         rows = [r for r in rows if bool(r.get("smoke")) == want_smoke]
     if args.limit:
         rows = rows[-args.limit:]
+    if getattr(args, "json", False):
+        # machine-readable: the filtered rows verbatim, plus the derived
+        # fingerprint per manifest-bearing row (the cross-run join key)
+        payload = []
+        for row in rows:
+            entry = dict(row)
+            if row.get("manifest"):
+                entry["fingerprint"] = (
+                    RunManifest.from_dict(row["manifest"]).fingerprint()
+                )
+            payload.append(entry)
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"{len(rows)} run(s) in {path}")
     for row in rows:
         schema = row.get("schema", 1)
@@ -1030,17 +1084,17 @@ def _load_diff_profiles(path: str):
     except ValueError:
         return {"run": profile_from_jsonl(text, source=path)}
     if not isinstance(doc, dict):
-        raise SystemExit(f"{path}: not a recognized recording")
+        raise _usage_error(f"{path}: not a recognized recording")
     if "flight" in doc:
-        raise SystemExit(f"{path}: flight logs diff with "
-                         "'repro replay LOG --diff OTHER'")
+        raise _usage_error(f"{path}: flight logs diff with "
+                           "'repro replay LOG --diff OTHER'")
     manifest = (RunManifest.from_dict(doc["manifest"])
                 if doc.get("manifest") else None)
     if "rows" in doc:  # history ledger: latest profiled row wins
         profiled = [r for r in doc["rows"] if r.get("profile")]
         if not profiled:
-            raise SystemExit(f"{path}: no schema-2 history row carries a "
-                             "profile (all legacy v1 rows)")
+            raise _usage_error(f"{path}: no schema-2 history row carries a "
+                               "profile (all legacy v1 rows)")
         row = profiled[-1]
         row_manifest = (RunManifest.from_dict(row["manifest"])
                         if row.get("manifest") else None)
@@ -1061,11 +1115,11 @@ def _load_diff_profiles(path: str):
                     row["phases"], manifest=manifest, source=path,
                 ))
         if not out:
-            raise SystemExit(f"{path}: bench payload has no profiled "
-                             "coin_gen rows")
+            raise _usage_error(f"{path}: bench payload has no profiled "
+                               "coin_gen rows")
         return out
-    raise SystemExit(f"{path}: not a recognized recording (expected a "
-                     "span JSONL export, bench payload, or history file)")
+    raise _usage_error(f"{path}: not a recognized recording (expected a "
+                       "span JSONL export, bench payload, or history file)")
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -1162,6 +1216,191 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                         seed=args.seed)
     print(report(checks))
     return 0 if all(check.passed for check in checks) else 1
+
+
+# ---------------------------------------------------------------------------
+# campaign: scenario-space sweeps under the composed violation oracle
+# ---------------------------------------------------------------------------
+
+def _campaign_space(args: argparse.Namespace):
+    from repro.campaign.space import default_space
+
+    return default_space(
+        runtime=args.runtime,
+        seeds=tuple(range(args.seeds)),
+        sched_seeds=tuple(range(args.sched_seeds)),
+        clean_only=args.clean_only,
+    )
+
+
+def _campaign_report_text(args, coverage, clusters, space) -> str:
+    from repro.campaign.triage import triage_table, triage_to_json
+    import json as json_module
+
+    if args.report == "json":
+        doc = {
+            "coverage": coverage.to_dict(space),
+            "triage": [c.to_dict() for c in clusters],
+        }
+        return json_module.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.report == "prom":
+        return coverage.to_prometheus(space)
+    return (coverage.table(space) + "\n\n" + triage_table(clusters) + "\n"
+            if clusters else coverage.table(space) + "\n")
+
+
+def _emit_report(args, text: str) -> None:
+    if getattr(args, "out", None):
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote campaign report to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.campaign import CampaignLedger, run_campaign, shrink, \
+        write_artifact
+    from repro.campaign.space import known_bad_scenarios
+    from repro.campaign.triage import triage
+
+    space = _campaign_space(args)
+    if args.budget is not None:
+        # --budget 0 is meaningful: no space cells (e.g. --known-bad only)
+        cells = space.sample(args.budget, seed=args.campaign_seed)
+    else:
+        cells = space.cells()
+    if args.known_bad:
+        cells = cells + known_bad_scenarios()
+    if not cells:
+        raise _usage_error("campaign space is empty under these options")
+    ledger = None
+    if args.ledger:
+        ledger = CampaignLedger(args.ledger)
+        ledger.write_header(campaign_seed=args.campaign_seed,
+                            cells=len(cells), budget=args.budget,
+                            known_bad=bool(args.known_bad))
+    result = run_campaign(cells, ledger=ledger)
+
+    shrunk_paths = []
+    if args.shrink and result.violated:
+        os.makedirs(args.artifacts, exist_ok=True)
+        for outcome in result.violated:
+            reduced = shrink(outcome.scenario, outcome)
+            path = os.path.join(
+                args.artifacts, f"repro-{reduced.minimal.cell_id()}.json"
+            )
+            write_artifact(path, reduced)
+            shrunk_paths.append(path)
+
+    clusters = triage([o.to_row() for o in result.violated])
+    _emit_report(args, _campaign_report_text(args, result.coverage,
+                                             clusters, space))
+    counts = result.status_counts()
+    coverage_pct = result.coverage.percentage(space)
+    print(f"campaign: {len(cells)} cells — {counts['clean']} clean, "
+          f"{counts['violated']} violated, {counts['error']} errors; "
+          f"coverage {coverage_pct:.1f}%", file=sys.stderr)
+    for path in shrunk_paths:
+        print(f"repro artifact: {path}", file=sys.stderr)
+    if result.violated:
+        return 1
+    if args.min_coverage is not None and coverage_pct < args.min_coverage:
+        print(f"COVERAGE GATE: {coverage_pct:.1f}% < "
+              f"{args.min_coverage:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import CoverageMap, read_ledger, violated_rows
+    from repro.campaign.triage import triage
+
+    try:
+        _headers, rows = read_ledger(args.ledger)
+    except OSError as exc:
+        raise _usage_error(f"{args.ledger}: cannot read ledger ({exc})")
+    except ValueError as exc:
+        raise _usage_error(str(exc))
+    coverage = CoverageMap()
+    for row in rows:
+        coverage.record_row(row)
+    clusters = triage(violated_rows(rows))
+    # coverage percentages are measured against the stock space the
+    # run-side options describe (the ledger stores cells, not axes)
+    _emit_report(args, _campaign_report_text(args, coverage, clusters,
+                                             _campaign_space(args)))
+    return 0
+
+
+def _cmd_campaign_shrink(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.campaign import read_ledger, shrink, violated_rows, \
+        write_artifact
+    from repro.campaign.space import Scenario
+
+    try:
+        _headers, rows = read_ledger(args.ledger)
+    except OSError as exc:
+        raise _usage_error(f"{args.ledger}: cannot read ledger ({exc})")
+    except ValueError as exc:
+        raise _usage_error(str(exc))
+    rows = violated_rows(rows)
+    if args.cell:
+        rows = [row for row in rows if row["cell"] == args.cell]
+        if not rows:
+            raise _usage_error(
+                f"{args.ledger}: no violated row with cell id {args.cell}"
+            )
+    if not rows:
+        print("ledger has no violated cells; nothing to shrink")
+        return 0
+    os.makedirs(args.artifacts, exist_ok=True)
+    stale = 0
+    for row in rows:
+        scenario = Scenario.from_dict(row["scenario"])
+        try:
+            reduced = shrink(scenario)
+        except ValueError:
+            print(f"STALE: cell {row['cell']} no longer trips its oracle",
+                  file=sys.stderr)
+            stale += 1
+            continue
+        path = os.path.join(
+            args.artifacts, f"repro-{reduced.minimal.cell_id()}.json"
+        )
+        write_artifact(path, reduced)
+        print(f"{row['cell']} -> {reduced.minimal.cell_id()} "
+              f"({reduced.accepted} reduction(s) in {reduced.steps} "
+              f"step(s)): {path}")
+    return 1 if stale else 0
+
+
+def _cmd_campaign_replay(args: argparse.Namespace) -> int:
+    from repro.campaign import check_artifact, load_artifact
+
+    try:
+        data = load_artifact(args.artifact)
+    except OSError as exc:
+        raise _usage_error(f"{args.artifact}: cannot read artifact ({exc})")
+    except ValueError as exc:
+        raise _usage_error(str(exc))
+    reproduced, detail = check_artifact(data)
+    print(f"{args.artifact}: {detail}")
+    return 0 if reproduced else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    handler = {
+        "run": _cmd_campaign_run,
+        "report": _cmd_campaign_report,
+        "shrink": _cmd_campaign_shrink,
+        "replay": _cmd_campaign_replay,
+    }[args.campaign_command]
+    return handler(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1317,6 +1556,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default="all", help="filter rows by bench flavour")
     runs.add_argument("--limit", type=int, default=0,
                       help="show only the most recent N rows (0 = all)")
+    runs.add_argument("--json", action="store_true",
+                      help="emit the filtered rows as JSON (with derived "
+                           "manifest fingerprints) instead of the table")
     runs.set_defaults(func=_cmd_runs)
 
     diff_cmd = sub.add_parser(
@@ -1396,14 +1638,109 @@ def build_parser() -> argparse.ArgumentParser:
     _add_export_arguments(health)
     health.set_defaults(func=_cmd_health)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="sweep the scenario space under the composed violation oracle",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _add_campaign_space_arguments(parser_: argparse.ArgumentParser):
+        parser_.add_argument("--runtime", choices=("lockstep", "async",
+                                                   "both"),
+                             default="both", help="runtime axis of the space")
+        parser_.add_argument("--seeds", type=int, default=3,
+                             help="protocol seeds 0..N-1 on the seed axis")
+        parser_.add_argument("--sched-seeds", type=int, default=2,
+                             help="scheduler seeds 0..N-1 on that axis")
+        parser_.add_argument("--clean-only", action="store_true",
+                             help="honest cells only (no adversaries or "
+                                  "fault chains)")
+
+    def _add_campaign_report_arguments(parser_: argparse.ArgumentParser):
+        parser_.add_argument("--report", choices=("table", "json", "prom"),
+                             default="table",
+                             help="coverage + triage output format")
+        parser_.add_argument("--out", default=None, metavar="PATH",
+                             help="write the report here instead of stdout")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a (sampled) slice of the scenario space",
+    )
+    _add_campaign_space_arguments(campaign_run)
+    campaign_run.add_argument("--budget", type=int, default=None,
+                              metavar="N",
+                              help="run a seeded random sample of N cells "
+                                   "instead of the full space (CI soak); "
+                                   "0 skips the space entirely, e.g. for a "
+                                   "--known-bad-only run")
+    campaign_run.add_argument("--campaign-seed", type=int, default=0,
+                              help="seed for the --budget sample")
+    campaign_run.add_argument("--known-bad", action="store_true",
+                              help="append the seeded known-bad scenarios "
+                                   "(negative controls; exit 1 expected)")
+    campaign_run.add_argument("--ledger", default=None, metavar="PATH",
+                              help="append per-cell rows to this JSONL "
+                                   "campaign ledger")
+    campaign_run.add_argument("--shrink", action="store_true",
+                              help="shrink every violated cell and write "
+                                   "repro artifacts")
+    campaign_run.add_argument("--artifacts", default="campaign-artifacts",
+                              metavar="DIR",
+                              help="directory for --shrink repro artifacts")
+    campaign_run.add_argument("--min-coverage", type=float, default=None,
+                              metavar="PCT",
+                              help="exit 1 when scenario-space coverage "
+                                   "lands below PCT percent")
+    _add_campaign_report_arguments(campaign_run)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="coverage map + violation triage from a ledger",
+    )
+    campaign_report.add_argument("--ledger", required=True, metavar="PATH",
+                                 help="campaign ledger to read")
+    _add_campaign_space_arguments(campaign_report)
+    _add_campaign_report_arguments(campaign_report)
+
+    campaign_shrink = campaign_sub.add_parser(
+        "shrink", help="minimize recorded violations into repro artifacts",
+    )
+    campaign_shrink.add_argument("--ledger", required=True, metavar="PATH",
+                                 help="campaign ledger holding the "
+                                      "violations")
+    campaign_shrink.add_argument("--cell", default=None, metavar="ID",
+                                 help="shrink only this cell id")
+    campaign_shrink.add_argument("--artifacts",
+                                 default="campaign-artifacts", metavar="DIR",
+                                 help="directory for repro artifacts")
+
+    campaign_replay = campaign_sub.add_parser(
+        "replay", help="re-run a repro artifact; exit 1 when it went stale",
+    )
+    campaign_replay.add_argument("artifact", help="repro artifact JSON file")
+
+    campaign.set_defaults(func=_cmd_campaign)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Command handlers signal usage errors by raising ``SystemExit(2)``
+    (see :func:`_usage_error`); those are normalized to a return value
+    here so programmatic callers get the code instead of an exception.
+    Argparse's own exits (bad flags) still propagate.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SystemExit as exc:
+        if isinstance(exc.code, int):
+            return exc.code
+        print(exc.code, file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -34,13 +34,81 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.net.scheduler import RoutedDelivery
 
 DROP = "drop"
 DUPLICATE = "duplicate"
 DELAY = "delay"
+CRASH = "crash"
+SILENCE = "silence"
+
+#: every fault-op kind :func:`parse_fault_op` accepts
+FAULT_KINDS = (DROP, DUPLICATE, DELAY, CRASH, SILENCE)
+
+#: keys each kind accepts in an op spec (beyond ``kind`` itself)
+_OP_KEYS = {
+    DROP: {"src", "dst", "rounds"},
+    DUPLICATE: {"src", "dst", "rounds"},
+    DELAY: {"src", "dst", "by", "rounds"},
+    CRASH: {"pid", "at"},
+    SILENCE: {"pid", "rounds"},
+}
+
+
+def parse_fault_op(op: str) -> Dict[str, Any]:
+    """Parse one fault-op spec string into a parameter dict.
+
+    The grammar is ``kind`` or ``kind:key=value,key=value`` where keys
+    are integers except ``rounds``, a ``+``-joined round list::
+
+        "drop:src=7"  "delay:src=5,by=2"  "duplicate:src=4,dst=1"
+        "crash:pid=6,at=2"  "silence:pid=3,rounds=3+4"
+
+    The compact string form keeps whole fault chains hashable and
+    JSON-trivial, which is what lets campaign scenarios carry them in
+    manifests, ledgers, and repro artifacts.
+    """
+    kind, _, rest = op.partition(":")
+    kind = kind.strip()
+    if kind not in _OP_KEYS:
+        raise ValueError(f"unknown fault kind {kind!r} in op {op!r}")
+    params: Dict[str, Any] = {"kind": kind}
+    if rest.strip():
+        for part in rest.split(","):
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or key not in _OP_KEYS[kind]:
+                raise ValueError(f"bad parameter {part!r} in fault op {op!r}")
+            if key == "rounds":
+                params[key] = tuple(int(x) for x in value.split("+"))
+            else:
+                params[key] = int(value)
+    return params
+
+
+def fault_targets(ops: Sequence[str]) -> Set[int]:
+    """Player ids a fault chain interferes with (its "suspect set").
+
+    A rule's target is the player whose participation it corrupts: the
+    source of an edge rule (its traffic is dropped / duplicated /
+    delayed), the destination for destination-only edge rules (nothing
+    reaches it), and the pid of a crash / silence.  The campaign driver
+    uses this to keep sampled chains inside the paper's ``t``-fault
+    model and to exclude targeted players from unanimity oracles.
+    """
+    targets: Set[int] = set()
+    for op in ops:
+        params = parse_fault_op(op)
+        if params["kind"] in (CRASH, SILENCE):
+            if "pid" in params:
+                targets.add(params["pid"])
+        elif params.get("src") is not None:
+            targets.add(params["src"])
+        elif params.get("dst") is not None:
+            targets.add(params["dst"])
+    return targets
 
 
 @dataclass(frozen=True)
@@ -84,6 +152,36 @@ class FaultPlane:
         self._delayed: Dict[int, List[RoutedDelivery]] = {}
         #: event bus to publish "fault" events into; set by the runtime
         self.bus = None
+
+    @classmethod
+    def from_spec(cls, ops: Sequence[str]) -> "FaultPlane":
+        """Build a fresh plane from a chain of op spec strings.
+
+        Registration order follows the chain order, so first-match-wins
+        semantics are exactly the chain's left-to-right order.  A plane
+        is stateful (pending delayed deliveries, bus binding), so
+        callers that re-run a scenario must build a fresh plane from the
+        same spec rather than reuse one — this constructor is that
+        guarantee.
+        """
+        plane = cls()
+        for op in ops:
+            params = parse_fault_op(op)
+            kind = params["kind"]
+            if kind == DROP:
+                plane.drop(params.get("src"), params.get("dst"),
+                           params.get("rounds"))
+            elif kind == DUPLICATE:
+                plane.duplicate(params.get("src"), params.get("dst"),
+                                params.get("rounds"))
+            elif kind == DELAY:
+                plane.delay(params.get("src"), params.get("dst"),
+                            params.get("by", 1), params.get("rounds"))
+            elif kind == CRASH:
+                plane.crash(params["pid"], params.get("at", 1))
+            elif kind == SILENCE:
+                plane.silence(params["pid"], params.get("rounds", ()))
+        return plane
 
     # -- rule registration (chainable) --------------------------------------
     def drop(

@@ -39,6 +39,7 @@ payloads outside the codec vocabulary fall back to ``[dst, src,
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -505,8 +506,11 @@ def diff(log_a: FlightLog, log_b: FlightLog) -> Optional[Divergence]:
         set_b = sorted(_delivery_key(d) for d in event_b.deliveries)
         if set_a == set_b:
             continue
-        only_a = [d for d in set_a if d not in set_b]
-        only_b = [d for d in set_b if d not in set_a]
+        # multiset difference: a delivery duplicated in one log but not
+        # the other diverges even though plain membership agrees
+        count_a, count_b = Counter(set_a), Counter(set_b)
+        only_a = sorted((count_a - count_b).elements())
+        only_b = sorted((count_b - count_a).elements())
         dst, src, wire = (only_a or only_b)[0]
         try:
             tag = payload_tag(codec.decode(bytes.fromhex(wire)))

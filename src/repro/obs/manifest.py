@@ -46,6 +46,7 @@ from typing import Any, Dict, Optional
 SEMANTIC_FIELDS = (
     "protocol", "field", "n", "t", "M", "seed", "sched_seed",
     "backend", "scheduler", "runtime", "interpolation",
+    "adversary", "corrupt", "faults",
 )
 
 #: fields that describe *where* it ran; recorded but never fingerprinted
@@ -103,6 +104,9 @@ class RunManifest:
     scheduler: Optional[str] = None
     runtime: Optional[str] = None
     interpolation: Optional[str] = None
+    adversary: Optional[str] = None  #: adversary kind, e.g. ``"bad_share"``
+    corrupt: Optional[str] = None  #: comma-joined corrupt player ids
+    faults: Optional[str] = None  #: ``;``-joined fault-op chain spec
     # -- environment: where it ran ---------------------------------------
     python: Optional[str] = None
     numpy: Optional[str] = None

@@ -102,8 +102,8 @@ class TestCritpath:
         assert any(e.get("cat") == "flow" for e in trace["traceEvents"])
 
     def test_bad_what_if_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            main(CRITPATH + ["--what-if", "bogus"])
+        assert main(CRITPATH + ["--what-if", "bogus"]) == 2
+        assert "what-if" in capsys.readouterr().err
 
 
 class TestReplayCausal:
@@ -179,10 +179,29 @@ class TestRuns:
         out = capsys.readouterr().out
         assert "1 run(s)" in out and "t2" in out
 
-    def test_missing_history_fails(self, tmp_path, capsys):
+    def test_missing_history_is_a_usage_error(self, tmp_path, capsys):
         assert main(["runs", "--history",
-                     str(tmp_path / "absent.json")]) == 1
+                     str(tmp_path / "absent.json")]) == 2
         assert "no readable history" in capsys.readouterr().err
+
+    def test_json_output_with_derived_fingerprints(self, tmp_path, capsys):
+        history = tmp_path / "history.json"
+        history.write_text(json.dumps({"rows": [
+            {"timestamp": "t1", "smoke": True, "speedups": {"x": 1.0}},
+            {"schema": 2, "timestamp": "t2", "smoke": True, "speedups": {},
+             "manifest": {"protocol": "bench", "n": 7, "field": "gf2k:32"}},
+        ]}))
+        assert main(["runs", "--history", str(history), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert "fingerprint" not in rows[0]  # legacy row: no manifest
+        fingerprint = rows[1]["fingerprint"]
+        assert len(fingerprint) == 12
+        # the fingerprint is the manifest's, derived not stored
+        from repro.obs.manifest import RunManifest
+
+        assert fingerprint == RunManifest.from_dict(
+            rows[1]["manifest"]).fingerprint()
 
 
 class TestDiff:
@@ -272,3 +291,112 @@ class TestTossProfile:
                      "--seed", "9", "--profile"]) == 0
         profiled = capsys.readouterr().out.strip().splitlines()[0]
         assert profiled == plain
+
+
+CAMPAIGN_SMALL = ["campaign", "run", "--clean-only",
+                  "--seeds", "1", "--sched-seeds", "1",
+                  "--runtime", "lockstep"]
+
+
+class TestCampaignCLI:
+    def test_clean_run_exits_zero_with_full_coverage(self, capsys):
+        assert main(CAMPAIGN_SMALL) == 0
+        captured = capsys.readouterr()
+        assert "coverage: 15/15 reachable grid cells (100.0%)" in captured.out
+        assert "3 clean, 0 violated, 0 errors" in captured.err
+
+    def test_min_coverage_gate_trips(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--budget", "1", "--min-coverage",
+                                      "90"]) == 1
+        assert "COVERAGE GATE" in capsys.readouterr().err
+
+    def test_known_bad_run_gates_and_writes_everything(self, tmp_path,
+                                                       capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        artifacts = tmp_path / "artifacts"
+        report = tmp_path / "report.json"
+        assert main(CAMPAIGN_SMALL + [
+            "--budget", "0", "--known-bad", "--shrink",
+            "--ledger", str(ledger), "--artifacts", str(artifacts),
+            "--report", "json", "--out", str(report),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "2 violated" in err
+        doc = json.loads(report.read_text())
+        # grid counts are per (runtime, ..., phase) entry: a violated
+        # lockstep cell registers once per phase, so just non-zero here
+        assert doc["coverage"]["counts"]["violated"] > 0
+        signatures = {c["signature"] for c in doc["triage"]}
+        assert "forensics_fn:adversary=lurker" in signatures
+        written = sorted(artifacts.glob("repro-*.json"))
+        assert len(written) == 2
+        # each artifact replays and still trips its oracle
+        for path in written:
+            assert main(["campaign", "replay", str(path)]) == 0
+            assert "reproduced" in capsys.readouterr().out
+        # the ledger supports offline report and shrink
+        assert main(["campaign", "report", "--ledger", str(ledger),
+                     "--clean-only", "--runtime", "lockstep",
+                     "--seeds", "1", "--sched-seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bad_share" in out and "lurker" in out
+        shrunk_dir = tmp_path / "shrunk"
+        assert main(["campaign", "shrink", "--ledger", str(ledger),
+                     "--artifacts", str(shrunk_dir)]) == 0
+        assert len(list(shrunk_dir.glob("repro-*.json"))) == 2
+
+    def test_shrink_cell_filter_unknown_is_usage_error(self, tmp_path,
+                                                       capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(CAMPAIGN_SMALL + ["--budget", "0", "--known-bad",
+                                      "--ledger", str(ledger)]) == 1
+        capsys.readouterr()
+        assert main(["campaign", "shrink", "--ledger", str(ledger),
+                     "--cell", "feedfacefe"]) == 2
+        assert "no violated row" in capsys.readouterr().err
+
+    def test_missing_inputs_are_usage_errors(self, tmp_path, capsys):
+        assert main(["campaign", "report", "--ledger",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        assert main(["campaign", "replay",
+                     str(tmp_path / "absent.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"artifact_schema": 99}')
+        assert main(["campaign", "replay", str(bad)]) == 2
+
+    def test_stale_artifact_exits_one(self, tmp_path, capsys):
+        from repro.campaign import Scenario
+        from repro.campaign.shrink import ARTIFACT_SCHEMA
+
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({
+            "artifact_schema": ARTIFACT_SCHEMA,
+            "cell": "0" * 10,
+            "scenario": Scenario().to_dict(),  # clean: cannot reproduce
+            "violations": [{"oracle": "coin", "signature": "coin_failure",
+                            "detail": "x"}],
+            "flight_log": None,
+        }))
+        assert main(["campaign", "replay", str(stale)]) == 1
+        assert "no longer trips" in capsys.readouterr().out
+
+
+class TestExitCodeConvention:
+    """0 = clean, 1 = gate tripped, 2 = usage error — everywhere."""
+
+    def test_usage_errors_exit_two(self, tmp_path, capsys):
+        # a missing flight log is a usage error, not a tripped gate
+        assert main(["replay", str(tmp_path / "absent.flightlog")]) == 2
+        assert main(["forensics", str(tmp_path / "absent.flightlog")]) == 2
+        capsys.readouterr()
+
+    def test_bad_what_if_exits_two(self):
+        assert main(["critpath", "--n", "7", "--t", "1", "--M", "2",
+                     "--what-if", "bogus"]) == 2
+
+    def test_campaign_gate_vs_usage_split(self, tmp_path, capsys):
+        # gate tripped (violations found) is 1; unreadable input is 2
+        assert main(CAMPAIGN_SMALL + ["--budget", "0", "--known-bad"]) == 1
+        capsys.readouterr()
+        assert main(["campaign", "shrink", "--ledger",
+                     str(tmp_path / "absent.jsonl")]) == 2
